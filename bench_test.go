@@ -1,0 +1,117 @@
+package flowrank
+
+// One benchmark per table/figure of the paper, plus the ablation and
+// extension experiments. Each benchmark regenerates the corresponding
+// figure through the same code path as cmd/flowrank-bench (reduced scale;
+// run the binary with -full for paper scale). Trace-driven figures share a
+// process-wide result cache, so their first iteration carries the real
+// cost.
+
+import (
+	"testing"
+
+	"flowrank/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	opts := experiments.Options{Seed: 7}
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s: empty result", id)
+		}
+	}
+}
+
+// Figs. 1–3: pairwise misranking probability and optimal rates (§3–4).
+func BenchmarkFig01OptimalRateLog(b *testing.B)    { benchFigure(b, "fig01") }
+func BenchmarkFig02OptimalRateLinear(b *testing.B) { benchFigure(b, "fig02") }
+func BenchmarkFig03GaussianError(b *testing.B)     { benchFigure(b, "fig03") }
+
+// Figs. 4–9: the ranking model (§5–6).
+func BenchmarkFig04RankingTSweep5Tuple(b *testing.B)    { benchFigure(b, "fig04") }
+func BenchmarkFig05RankingTSweepPrefix24(b *testing.B)  { benchFigure(b, "fig05") }
+func BenchmarkFig06RankingBetaSweep5Tuple(b *testing.B) { benchFigure(b, "fig06") }
+func BenchmarkFig07RankingBetaSweepPrefix(b *testing.B) { benchFigure(b, "fig07") }
+func BenchmarkFig08RankingNSweep5Tuple(b *testing.B)    { benchFigure(b, "fig08") }
+func BenchmarkFig09RankingNSweepPrefix24(b *testing.B)  { benchFigure(b, "fig09") }
+
+// Figs. 10–11: the detection model (§7).
+func BenchmarkFig10DetectionTSweep5Tuple(b *testing.B)   { benchFigure(b, "fig10") }
+func BenchmarkFig11DetectionTSweepPrefix24(b *testing.B) { benchFigure(b, "fig11") }
+
+// Figs. 12–16: trace-driven simulation (§8).
+func BenchmarkFig12TraceRanking5Tuple(b *testing.B)     { benchFigure(b, "fig12") }
+func BenchmarkFig13TraceRankingPrefix24(b *testing.B)   { benchFigure(b, "fig13") }
+func BenchmarkFig14TraceDetection5Tuple(b *testing.B)   { benchFigure(b, "fig14") }
+func BenchmarkFig15TraceDetectionPrefix24(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16TraceRankingAbilene(b *testing.B)    { benchFigure(b, "fig16") }
+
+// Ablations and extensions (DESIGN.md §5–6).
+func BenchmarkAblationKernels(b *testing.B)   { benchFigure(b, "kernels") }
+func BenchmarkAblationFastpath(b *testing.B)  { benchFigure(b, "fastpath") }
+func BenchmarkExtensionBounded(b *testing.B)  { benchFigure(b, "bounded") }
+func BenchmarkExtensionSeqest(b *testing.B)   { benchFigure(b, "seqest") }
+func BenchmarkExtensionAdaptive(b *testing.B) { benchFigure(b, "adaptive") }
+
+// --- public API micro-benchmarks -----------------------------------------
+
+func BenchmarkModelRankingMetric(b *testing.B) {
+	m := Model{N: 700_000, T: 10, Dist: ParetoWithMean(9.6, 1.5), PoissonTails: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.RankingMetric(0.1)
+	}
+}
+
+func BenchmarkModelDetectionMetric(b *testing.B) {
+	m := Model{N: 700_000, T: 10, Dist: ParetoWithMean(9.6, 1.5), PoissonTails: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.DetectionMetric(0.1)
+	}
+}
+
+func BenchmarkMisrankExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MisrankExact(500, 600, 0.05)
+	}
+}
+
+func BenchmarkSimulateSmall(b *testing.B) {
+	cfg := SprintFiveTuple(60, 1)
+	cfg.ArrivalRate = 200
+	records, err := GenerateTrace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Simulate(SimConfig{
+			Records: records, BinSeconds: 60, Horizon: 60, TopT: 10,
+			Rates: []float64{0.1}, Runs: 5, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamPackets(b *testing.B) {
+	cfg := SprintFiveTuple(10, 1)
+	cfg.ArrivalRate = 200
+	records, err := GenerateTrace(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		StreamPackets(records, uint64(i), func(Packet) error { n++; return nil })
+	}
+	b.ReportMetric(float64(n), "packets/op")
+}

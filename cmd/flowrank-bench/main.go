@@ -1,0 +1,86 @@
+// Command flowrank-bench regenerates the tables and figures of "Ranking
+// flows from sampled traffic" (Barakat, Iannaccone, Diot, CoNEXT 2005),
+// printing each as an aligned text table and optionally saving CSVs.
+//
+// Usage:
+//
+//	flowrank-bench -fig all                 # everything, reduced scale
+//	flowrank-bench -fig fig04               # one figure
+//	flowrank-bench -fig fig12 -full         # paper scale (30 min, 30 runs)
+//	flowrank-bench -fig all -out results/   # also write results/<id>.csv
+//	flowrank-bench -list                    # show available experiments
+//
+// Figure ids follow the paper (fig01 … fig16); the extras (kernels,
+// fastpath, bounded, seqest, adaptive) are the ablations and future-work
+// extensions documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flowrank/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment id (figNN, extras, or 'all')")
+		full    = flag.Bool("full", false, "paper-scale evaluation (slower)")
+		out     = flag.String("out", "", "directory for CSV output (empty = none)")
+		seed    = flag.Uint64("seed", 0, "experiment seed (0 = default)")
+		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-10s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Full: *full, Seed: *seed, Workers: *workers}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flowrank-bench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "flowrank-bench: printing %s: %v\n", t.ID, err)
+				failed++
+			}
+			if *out != "" {
+				path, err := t.SaveCSV(*out)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "flowrank-bench: %v\n", err)
+					failed++
+				} else {
+					fmt.Printf("wrote %s\n\n", path)
+				}
+			}
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "flowrank-bench: %d failures\n", failed)
+		os.Exit(1)
+	}
+	if *fig == "all" && !*full {
+		fmt.Println(strings.Repeat("-", 72))
+		fmt.Println("reduced scale: rerun with -full for the paper's trace lengths and runs")
+	}
+}

@@ -1,0 +1,86 @@
+// Anomaly detection: can sampled traffic spot a volume anomaly?
+//
+// The paper cites network-wide anomaly diagnosis ([15]) as a motivation
+// for ranking flows. This example injects a DDoS-like packet flood toward
+// one /24 prefix into an otherwise normal Sprint-like trace, then checks
+// at which sampling rates the victim prefix surfaces in the sampled top-k
+// list — the "detection, not ranking" task the paper shows is an order of
+// magnitude cheaper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowrank"
+)
+
+func main() {
+	const (
+		traceSeconds = 60.0
+		topK         = 5
+		runs         = 20
+	)
+	cfg := flowrank.SprintFiveTuple(traceSeconds, 7)
+	cfg.ArrivalRate /= 4 // keep the example fast
+	records, err := flowrank.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inject the attack: 400 sources flood 203.0.113.0/24 for 20 seconds.
+	victim := flowrank.Addr{203, 0, 113, 0}
+	attackPkts := 0
+	for i := 0; i < 400; i++ {
+		pkts := 150
+		attackPkts += pkts
+		records = append(records, flowrank.FlowRecord{
+			Key: flowrank.Key{
+				Src:     flowrank.Addr{99, byte(i >> 8), byte(i), 1},
+				Dst:     flowrank.Addr{203, 0, 113, byte(1 + i%250)},
+				SrcPort: uint16(1024 + i), DstPort: 80, Proto: flowrank.ProtoUDP,
+			},
+			Start: 20, Duration: 20, Packets: pkts, Bytes: int64(pkts) * 60,
+		})
+	}
+	fmt.Printf("trace: %d flows, attack adds %d packets to %v/24\n\n",
+		len(records), attackPkts, victim)
+
+	agg := flowrank.DstPrefix{Bits: 24}
+	for _, p := range []float64{0.0005, 0.001, 0.01, 0.1} {
+		detected := 0
+		var avgRank float64
+		ranked := 0
+		for run := 0; run < runs; run++ {
+			table := flowrank.NewFlowTable(agg)
+			smp := flowrank.NewBernoulli(p, 100+uint64(run))
+			err := flowrank.StreamPackets(records, 9, func(pk flowrank.Packet) error {
+				if smp.Sample(pk) {
+					table.Add(pk)
+				}
+				return nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			top := table.Top(topK)
+			for rank, e := range top {
+				if e.Key.Dst == victim {
+					detected++
+					avgRank += float64(rank + 1)
+					ranked++
+					break
+				}
+			}
+		}
+		rankStr := "-"
+		if ranked > 0 {
+			rankStr = fmt.Sprintf("%.1f", avgRank/float64(ranked))
+		}
+		fmt.Printf("p = %5.2f%%: victim /24 in sampled top-%d in %2d/%d runs (avg rank %s)\n",
+			p*100, topK, detected, runs, rankStr)
+	}
+
+	fmt.Println("\neven fractions of a percent of sampling surface a strong volume anomaly;")
+	fmt.Println("the hard problem the paper quantifies is ordering flows of similar size.")
+}

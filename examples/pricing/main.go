@@ -1,0 +1,98 @@
+// Usage-based pricing: how wrong are the bills computed from sampled
+// traffic?
+//
+// The paper cites usage-based pricing ([11]) as a motivation: providers
+// bill customers (here: destination /24 prefixes) by measured volume. With
+// packet sampling, a customer's bill is sampledBytes / p — an unbiased but
+// noisy estimate — and customers of similar size can swap places in the
+// ranking. This example measures both effects versus the sampling rate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"flowrank"
+)
+
+func main() {
+	cfg := flowrank.SprintPrefix24(120, 11)
+	cfg.ArrivalRate /= 4
+	records, err := flowrank.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// True per-customer volume.
+	trueBytes := map[flowrank.Key]int64{}
+	for _, r := range records {
+		trueBytes[r.Key] += r.Bytes
+	}
+	trueList := make([]flowrank.FlowEntry, 0, len(trueBytes))
+	for k, b := range trueBytes {
+		trueList = append(trueList, flowrank.FlowEntry{Key: k, Packets: b})
+	}
+	flowrank.SortEntries(trueList)
+	const topCustomers = 10
+	fmt.Printf("customers: %d /24 prefixes; top-%d carry %.1f%% of bytes\n\n",
+		len(trueList), topCustomers, 100*topShare(trueList, topCustomers))
+
+	fmt.Printf("%8s  %22s  %22s\n", "p", "bill error (top-10)", "top-10 misbilled order")
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5} {
+		const runs = 15
+		var relErrSum float64
+		var pc flowrank.PairCounts
+		for run := 0; run < runs; run++ {
+			table := flowrank.NewFlowTable(flowrank.FiveTuple{})
+			smp := flowrank.NewBernoulli(p, 55+uint64(run))
+			err := flowrank.StreamPackets(records, 3, func(pk flowrank.Packet) error {
+				if smp.Sample(pk) {
+					table.Add(pk)
+				}
+				return nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Billing error of the true top customers.
+			for i := 0; i < topCustomers && i < len(trueList); i++ {
+				e, _ := table.Lookup(trueList[i].Key)
+				billed := float64(e.Bytes) / p
+				truth := float64(trueList[i].Packets)
+				relErrSum += math.Abs(billed-truth) / truth
+			}
+			// Ranking swaps among customers (bytes-based original list,
+			// sampled packet counts as the estimator).
+			sampled := make(map[flowrank.Key]int64, table.Len())
+			for _, e := range table.Entries() {
+				sampled[e.Key] = e.Bytes
+			}
+			pcRun := flowrank.CountSwapped(trueList, sampled, topCustomers)
+			pc.Ranking += pcRun.Ranking
+			pc.Detection += pcRun.Detection
+		}
+		fmt.Printf("%7.1f%%  %20.1f%%  %16.1f pairs\n",
+			p*100,
+			100*relErrSum/float64(runs*topCustomers),
+			float64(pc.Ranking)/runs)
+	}
+
+	fmt.Println("\nbills for the biggest customers converge quickly (relative error ~1/sqrt(pS)),")
+	fmt.Println("but their *order* stays unstable far longer — exactly the paper's distinction")
+	fmt.Println("between estimating sizes and ranking flows.")
+}
+
+func topShare(list []flowrank.FlowEntry, k int) float64 {
+	var top, total float64
+	for i, e := range list {
+		if i < k {
+			top += float64(e.Packets)
+		}
+		total += float64(e.Packets)
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}

@@ -1,0 +1,51 @@
+// Quickstart: synthesize a Sprint-like trace, sample it at several rates,
+// and measure how well the top-10 flows are ranked and detected — the
+// paper's core experiment in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowrank"
+)
+
+func main() {
+	// A 2-minute 5-tuple workload calibrated to the paper's Sprint trace
+	// statistics (scaled down 10x so the example runs in about a second).
+	cfg := flowrank.SprintFiveTuple(120, 42)
+	cfg.ArrivalRate /= 10
+	records, err := flowrank.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d flows over %.0f s (%s)\n\n", len(records), cfg.Duration, cfg.SizeDist)
+
+	res, err := flowrank.Simulate(flowrank.SimConfig{
+		Records:    records,
+		BinSeconds: 60,
+		Horizon:    120,
+		TopT:       10,
+		Rates:      []float64{0.001, 0.01, 0.1, 0.5},
+		Runs:       10,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("swapped flow pairs per bin (mean over 10 sampling runs; < 1 is acceptable):")
+	fmt.Printf("%8s  %12s  %12s\n", "p", "ranking", "detection")
+	for _, series := range res.Series {
+		var rank, det float64
+		for _, bin := range series.Bins {
+			rank += bin.Ranking.Mean()
+			det += bin.Detection.Mean()
+		}
+		n := float64(len(series.Bins))
+		fmt.Printf("%7.1f%%  %12.2f  %12.2f\n", series.Rate*100, rank/n, det/n)
+	}
+
+	fmt.Println("\nthe paper's conclusion, reproduced: ranking the top flows needs a high")
+	fmt.Println("sampling rate; merely detecting them is roughly an order of magnitude cheaper.")
+}

@@ -1,0 +1,88 @@
+// TCP sequence refinement (the paper's future work #2): estimate flow
+// byte sizes from the sequence numbers of sampled packets instead of
+// scaling sampled counts by 1/p, and measure the accuracy gain on the
+// flows that matter for ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"flowrank"
+)
+
+func main() {
+	cfg := flowrank.SprintFiveTuple(60, 31)
+	cfg.ArrivalRate /= 4
+	records, err := flowrank.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trueBytes := map[flowrank.Key]float64{}
+	for _, r := range records {
+		trueBytes[r.Key] = float64(r.Bytes)
+	}
+
+	const p = 0.05
+	est := flowrank.NewSizeEstimator(p)
+	// Stream the packets; synthesize per-flow TCP sequence numbers by
+	// accumulating payload bytes, exactly what a real TCP sender does.
+	seqCursor := map[flowrank.Key]uint32{}
+	smp := flowrank.NewBernoulli(p, 17)
+	err = flowrank.StreamPackets(records, 4, func(pk flowrank.Packet) error {
+		seq := seqCursor[pk.Key]
+		seqCursor[pk.Key] = seq + uint32(pk.Size)
+		if smp.Sample(pk) {
+			est.Observe(pk.Key, seq, pk.Size)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate on the 50 largest flows (the ranking-relevant ones).
+	type flowErr struct {
+		key  flowrank.Key
+		size float64
+	}
+	var flows []flowErr
+	for k, b := range trueBytes {
+		flows = append(flows, flowErr{k, b})
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].size > flows[j].size })
+	if len(flows) > 50 {
+		flows = flows[:50]
+	}
+
+	var spanSE, countSE float64
+	used := 0
+	for _, f := range flows {
+		span, ok1 := est.EstimateBytes(f.key)
+		count, ok2 := est.CountScaledBytes(f.key)
+		if !ok1 || !ok2 || est.SampledPackets(f.key) < 2 {
+			continue
+		}
+		spanSE += sq((span - f.size) / f.size)
+		countSE += sq((count - f.size) / f.size)
+		used++
+	}
+	if used == 0 {
+		log.Fatal("no flows with two sampled packets; raise p or the trace size")
+	}
+	fmt.Printf("sampling at p = %.0f%%, evaluating the %d largest flows (%d usable):\n\n",
+		p*100, len(flows), used)
+	fmt.Printf("  count-scaling (bytes/p) relative RMSE: %6.1f%%\n",
+		100*math.Sqrt(countSE/float64(used)))
+	fmt.Printf("  sequence-span estimator relative RMSE: %6.1f%%\n",
+		100*math.Sqrt(spanSE/float64(used)))
+	fmt.Printf("  accuracy gain: %.1fx\n\n", math.Sqrt(countSE/spanSE))
+
+	fmt.Println("the paper's caveat holds too: this only works for TCP with visible")
+	fmt.Println("headers, not for prefix-defined flows or encrypted transports.")
+}
+
+func sq(x float64) float64 { return x * x }

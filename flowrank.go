@@ -1,0 +1,287 @@
+// Package flowrank is a Go implementation of the models and experiments of
+// "Ranking flows from sampled traffic" (Barakat, Iannaccone, Diot — INRIA
+// RR-5266 / CoNEXT 2005): how well the largest flows on a link can be
+// detected and ranked when the monitor samples packets with probability p.
+//
+// The package exposes three layers:
+//
+//   - Analytical models (Model, DiscreteModel, OptimalRate, Misrank*):
+//     closed-form and quadrature evaluation of the paper's swapped-pairs
+//     metrics for ranking (§5) and detection (§7), under any flow-size
+//     distribution (Pareto, bounded Pareto, exponential, Weibull,
+//     lognormal, empirical).
+//
+//   - Trace machinery (TraceConfig presets, GenerateTrace, StreamPackets):
+//     synthetic flow-level traces calibrated to the paper's Sprint and
+//     Abilene workloads, and packet-level expansion using the paper's
+//     uniform placement.
+//
+//   - Experiments (Simulate, Controller, SizeEstimator, samplers, flow
+//     tables): the §8 trace-driven evaluation plus the paper's three
+//     future-work directions.
+//
+// Everything is deterministic given explicit seeds, uses only the standard
+// library, and is exercised by the experiment harness in
+// cmd/flowrank-bench, which regenerates every figure of the paper.
+package flowrank
+
+import (
+	"flowrank/internal/adaptive"
+	"flowrank/internal/core"
+	"flowrank/internal/dist"
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/metrics"
+	"flowrank/internal/packet"
+	"flowrank/internal/packetgen"
+	"flowrank/internal/sampler"
+	"flowrank/internal/seqest"
+	"flowrank/internal/sim"
+	"flowrank/internal/tracegen"
+)
+
+// ---------------------------------------------------------------------------
+// Analytical models (paper §3–7)
+
+// Model evaluates the paper's ranking and detection metrics for N flows
+// with a given size distribution when the top T flows are of interest.
+// See the field documentation for options (Poisson tails, kernel choice).
+type Model = core.Model
+
+// Kernel selects the pairwise misranking kernel of a Model.
+type Kernel = core.Kernel
+
+// Kernel choices: the paper's Gaussian Eq. 2 everywhere, or the hybrid
+// that switches to the exact binomial probability where the Gaussian
+// breaks (p·size small).
+const (
+	KernelGaussian = core.KernelGaussian
+	KernelHybrid   = core.KernelHybrid
+)
+
+// DiscreteModel evaluates the paper's formulas by direct summation over an
+// explicit flow-size pmf (small populations; used for validation).
+type DiscreteModel = core.DiscreteModel
+
+// RateMethod selects the formula OptimalRate inverts.
+type RateMethod = core.RateMethod
+
+// Optimal-rate inversion methods.
+const (
+	RateExact    = core.RateExact
+	RateGaussian = core.RateGaussian
+)
+
+// MisrankExact returns the exact probability (Eq. 1) that sampling at rate
+// p misranks flows of s1 and s2 packets.
+func MisrankExact(s1, s2 int, p float64) float64 { return core.MisrankExact(s1, s2, p) }
+
+// MisrankGaussian returns the paper's Normal approximation (Eq. 2).
+func MisrankGaussian(s1, s2, p float64) float64 { return core.MisrankGaussian(s1, s2, p) }
+
+// OptimalRate returns the minimum sampling rate keeping the misranking
+// probability of two flow sizes at or below target (Figs. 1–2).
+func OptimalRate(s1, s2 int, target float64, method RateMethod) (float64, error) {
+	return core.OptimalRate(s1, s2, target, method)
+}
+
+// ---------------------------------------------------------------------------
+// Flow-size distributions
+
+// SizeDist is a flow-size distribution in packets.
+type SizeDist = dist.SizeDist
+
+// Distribution implementations.
+type (
+	// Pareto is the paper's heavy-tailed flow size law.
+	Pareto = dist.Pareto
+	// BoundedPareto truncates Pareto at a maximum size.
+	BoundedPareto = dist.BoundedPareto
+	// Exponential is a shifted exponential (light tail).
+	Exponential = dist.Exponential
+	// Weibull has a tail shorter than exponential for K > 1.
+	Weibull = dist.Weibull
+	// Lognormal is the short-tailed law used for the Abilene workload.
+	Lognormal = dist.Lognormal
+	// Empirical is the discrete distribution of an observed sample.
+	Empirical = dist.Empirical
+)
+
+// ParetoWithMean returns a Pareto distribution with the given mean and
+// shape (panics if shape <= 1, where the mean is infinite).
+func ParetoWithMean(mean, shape float64) Pareto { return dist.ParetoWithMean(mean, shape) }
+
+// NewEmpirical builds an empirical distribution from sample values.
+func NewEmpirical(values []float64) *Empirical { return dist.NewEmpirical(values) }
+
+// ---------------------------------------------------------------------------
+// Flow identity and traces
+
+// Key is the 5-tuple flow identity; Addr an IPv4 address; Proto an IP
+// protocol number.
+type (
+	Key   = flow.Key
+	Addr  = flow.Addr
+	Proto = flow.Proto
+)
+
+// Well-known protocol numbers.
+const (
+	ProtoICMP = flow.ProtoICMP
+	ProtoTCP  = flow.ProtoTCP
+	ProtoUDP  = flow.ProtoUDP
+)
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return flow.ParseAddr(s) }
+
+// Aggregator maps packet 5-tuples to ranked flow identities.
+type Aggregator = flow.Aggregator
+
+// The paper's two flow definitions.
+type (
+	// FiveTuple ranks 5-tuple flows.
+	FiveTuple = flow.FiveTuple
+	// DstPrefix ranks destination prefixes (Bits = 24 in the paper).
+	DstPrefix = flow.DstPrefix
+)
+
+// FlowRecord is a flow-level trace record.
+type FlowRecord = flow.Record
+
+// Packet is a packet-level trace record.
+type Packet = packet.Packet
+
+// TraceConfig describes a synthetic workload; use the preset constructors
+// and adjust fields as needed.
+type TraceConfig = tracegen.Config
+
+// SprintFiveTuple returns the paper's 5-tuple Sprint workload: 2360
+// flows/s, Pareto sizes with mean 9.6 packets (4.8 KB), 13 s mean
+// duration.
+func SprintFiveTuple(traceSeconds float64, seed uint64) TraceConfig {
+	return tracegen.SprintFiveTuple(traceSeconds, seed)
+}
+
+// SprintPrefix24 returns the paper's /24 destination prefix workload: 350
+// flows/s, mean 33.2 packets (16.6 KB).
+func SprintPrefix24(traceSeconds float64, seed uint64) TraceConfig {
+	return tracegen.SprintPrefix24(traceSeconds, seed)
+}
+
+// AbileneTrace returns the §8.3 Abilene-like workload: more flows and a
+// short-tailed size distribution.
+func AbileneTrace(traceSeconds float64, seed uint64) TraceConfig {
+	return tracegen.Abilene(traceSeconds, seed)
+}
+
+// GenerateTrace synthesizes the flow-level trace for a workload.
+func GenerateTrace(cfg TraceConfig) ([]FlowRecord, error) { return tracegen.Generate(cfg) }
+
+// StreamPackets expands flow records to a time-ordered packet stream using
+// the paper's uniform placement (§8.1), calling fn for every packet.
+func StreamPackets(records []FlowRecord, seed uint64, fn func(Packet) error) error {
+	return packetgen.Stream(records, seed, fn)
+}
+
+// ---------------------------------------------------------------------------
+// Samplers and flow accounting
+
+// Sampler decides packet by packet whether the monitor keeps a packet.
+type Sampler = sampler.Sampler
+
+// NewBernoulli returns the paper's random sampler: every packet is kept
+// independently with probability p.
+func NewBernoulli(p float64, seed uint64) Sampler { return sampler.NewBernoulli(p, seed) }
+
+// NewPeriodic returns a deterministic 1-in-every sampler with per-run
+// random phase.
+func NewPeriodic(every int, seed uint64) Sampler { return sampler.NewPeriodic(every, seed) }
+
+// NewSampleAndHold returns an Estan–Varghese sample-and-hold sampler.
+func NewSampleAndHold(p float64, agg Aggregator, seed uint64) Sampler {
+	return sampler.NewSampleAndHold(p, agg, seed)
+}
+
+// FlowTable is exact per-bin flow accounting; BoundedFlowTable the
+// limited-memory variant with bottom eviction.
+type (
+	FlowTable        = flowtable.Table
+	BoundedFlowTable = flowtable.Bounded
+	FlowEntry        = flowtable.Entry
+)
+
+// NewFlowTable returns an empty exact table under agg.
+func NewFlowTable(agg Aggregator) *FlowTable { return flowtable.New(agg) }
+
+// NewBoundedFlowTable returns a table with a fixed number of slots.
+func NewBoundedFlowTable(agg Aggregator, capacity int) *BoundedFlowTable {
+	return flowtable.NewBounded(agg, capacity)
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+// PairCounts carries the paper's §5 ranking and §7 detection swapped-pair
+// counts for one bin.
+type PairCounts = metrics.PairCounts
+
+// CountSwapped computes both metrics: orig is every flow of the bin sorted
+// by descending packets (see SortEntries), sampled maps keys to sampled
+// counts, t is the top-list length.
+func CountSwapped(orig []FlowEntry, sampled map[Key]int64, t int) PairCounts {
+	return metrics.CountSwapped(orig, sampled, t)
+}
+
+// SortEntries sorts entries into the canonical ranking order in place.
+func SortEntries(entries []FlowEntry) []FlowEntry { return metrics.SortEntries(entries) }
+
+// TopKOverlap returns the fraction of orig's top-k recovered in sampled's
+// top-k.
+func TopKOverlap(orig, sampled []FlowEntry, k int) float64 {
+	return metrics.TopKOverlap(orig, sampled, k)
+}
+
+// ---------------------------------------------------------------------------
+// Trace-driven simulation (paper §8)
+
+// SimConfig configures a binned trace-driven experiment; Simulate runs it
+// on the fast flow-bin engine.
+type (
+	SimConfig  = sim.Config
+	SimResult  = sim.Result
+	RateSeries = sim.RateSeries
+	BinStat    = sim.BinStat
+)
+
+// Simulate runs the experiment: per-bin swapped-pair metrics with mean and
+// standard deviation over independent sampling runs.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulatePackets runs the same experiment on the literal packet path with
+// a custom sampler per rate (validation, periodic sampling, bounded
+// memory studies).
+func SimulatePackets(cfg SimConfig, mk func(rate float64) Sampler) (*SimResult, error) {
+	return sim.RunPackets(cfg, mk)
+}
+
+// ---------------------------------------------------------------------------
+// Future-work extensions (paper §9)
+
+// SizeEstimator refines sampled flow-size estimates with TCP sequence
+// numbers (future work #2).
+type SizeEstimator = seqest.Estimator
+
+// NewSizeEstimator returns an estimator for traffic sampled at rate p.
+func NewSizeEstimator(p float64) *SizeEstimator { return seqest.New(p) }
+
+// Controller recommends sampling rates from observed traffic (future work
+// #3); Observation summarizes one sampled bin.
+type (
+	Controller  = adaptive.Controller
+	Observation = adaptive.Observation
+)
+
+// HillTailIndex estimates the Pareto tail index from the k largest sample
+// values.
+func HillTailIndex(sizes []float64, k int) (float64, error) { return adaptive.Hill(sizes, k) }

@@ -1,0 +1,155 @@
+package flowrank
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuickstartWorkflow exercises the full public API surface the way the
+// README's quickstart does.
+func TestQuickstartWorkflow(t *testing.T) {
+	cfg := SprintFiveTuple(60, 7)
+	cfg.ArrivalRate = 200
+	records, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("empty trace")
+	}
+	res, err := Simulate(SimConfig{
+		Records:    records,
+		BinSeconds: 60,
+		Horizon:    60,
+		TopT:       10,
+		Rates:      []float64{0.01, 0.5},
+		Runs:       5,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := res.Series[0].Bins[0].Ranking.Mean()
+	high := res.Series[1].Bins[0].Ranking.Mean()
+	if high >= low {
+		t.Errorf("p=50%% (%g) should beat p=1%% (%g)", high, low)
+	}
+}
+
+func TestModelFacade(t *testing.T) {
+	m := Model{N: 100000, T: 10, Dist: ParetoWithMean(9.6, 1.5), PoissonTails: true}
+	r := m.RankingMetric(0.1)
+	d := m.DetectionMetric(0.1)
+	if d >= r {
+		t.Errorf("detection %g should be below ranking %g", d, r)
+	}
+	// The hybrid kernel diverges from the Gaussian at very low rates when
+	// N is large (see internal/core TestHybridKernelLowRate); here just
+	// confirm the option is wired through and changes the answer.
+	h := m
+	h.Kernel = KernelHybrid
+	gv := m.RankingMetric(0.001)
+	hv := h.RankingMetric(0.001)
+	if hv == gv {
+		t.Errorf("hybrid kernel had no effect at p=0.1%% (both %g)", hv)
+	}
+	p, err := OptimalRate(100, 200, 1e-3, RateExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MisrankExact(100, 200, p); math.Abs(got-1e-3) > 1e-4 {
+		t.Errorf("misranking at optimal rate = %g", got)
+	}
+}
+
+func TestPacketPathFacade(t *testing.T) {
+	cfg := SprintFiveTuple(10, 3)
+	cfg.ArrivalRate = 100
+	records, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewFlowTable(FiveTuple{})
+	smp := NewBernoulli(0.5, 4)
+	var total, kept int
+	err = StreamPackets(records, 5, func(p Packet) error {
+		total++
+		if smp.Sample(p) {
+			kept++
+			tab.Add(p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || kept == 0 {
+		t.Fatal("no packets streamed")
+	}
+	ratio := float64(kept) / float64(total)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("kept %g of packets at p=0.5", ratio)
+	}
+	top := tab.Top(5)
+	if len(top) != 5 {
+		t.Fatalf("Top(5) returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Packets > top[i-1].Packets {
+			t.Error("top list not sorted")
+		}
+	}
+}
+
+func TestAggregationFacade(t *testing.T) {
+	k := Key{Src: Addr{1, 2, 3, 4}, Dst: Addr{10, 20, 30, 40}, SrcPort: 99, DstPort: 80, Proto: ProtoTCP}
+	agg := DstPrefix{Bits: 24}
+	got := agg.Aggregate(k)
+	if got.Dst != (Addr{10, 20, 30, 0}) {
+		t.Errorf("aggregated to %v", got)
+	}
+	a, err := ParseAddr("10.20.30.40")
+	if err != nil || a != k.Dst {
+		t.Errorf("ParseAddr: %v %v", a, err)
+	}
+}
+
+func TestExtensionsFacade(t *testing.T) {
+	// Sequence estimator.
+	e := NewSizeEstimator(0.5)
+	key := Key{Src: Addr{9, 9, 9, 9}, Proto: ProtoTCP}
+	e.Observe(key, 1000, 100)
+	e.Observe(key, 5000, 100)
+	if est, ok := e.EstimateBytes(key); !ok || est <= 0 {
+		t.Errorf("estimate %g ok=%v", est, ok)
+	}
+	// Hill estimator on an exact power law.
+	sizes := make([]float64, 5000)
+	d := Pareto{Scale: 1, Shape: 2}
+	for i := range sizes {
+		sizes[i] = d.QuantileCCDF(float64(i+1) / 5001)
+	}
+	beta, err := HillTailIndex(sizes, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta-2) > 0.3 {
+		t.Errorf("Hill index %g, want ~2", beta)
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	entries := []FlowEntry{
+		{Key: Key{SrcPort: 1}, Packets: 100},
+		{Key: Key{SrcPort: 2}, Packets: 50},
+		{Key: Key{SrcPort: 3}, Packets: 10},
+	}
+	SortEntries(entries)
+	sampled := map[Key]int64{
+		{SrcPort: 1}: 2, {SrcPort: 2}: 5, {SrcPort: 3}: 1,
+	}
+	pc := CountSwapped(entries, sampled, 1)
+	if pc.Ranking != 1 {
+		t.Errorf("ranking = %d, want 1 (top flow under-sampled)", pc.Ranking)
+	}
+}

@@ -1,0 +1,186 @@
+// Package adaptive implements the paper's third future-work direction
+// (§9): setting the sampling rate from the observed traffic. A Controller
+// watches one measurement bin of sampled traffic, estimates the flow
+// population (total flows, mean size, Pareto tail index) by inverting the
+// sampling, and asks the analytical model for the cheapest rate that keeps
+// the chosen swapped-pairs metric under a target.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowrank/internal/core"
+	"flowrank/internal/dist"
+	"flowrank/internal/numeric"
+)
+
+// Hill returns the Hill estimator of the Pareto tail index from the k
+// largest values of sizes: the reciprocal mean log-excess over the k-th
+// order statistic. Larger k lowers variance but admits bias from the
+// non-tail body; k of a few percent of the sample is customary.
+func Hill(sizes []float64, k int) (float64, error) {
+	n := len(sizes)
+	if k < 2 || k >= n {
+		return 0, fmt.Errorf("adaptive: Hill estimator needs 2 <= k < n, got k=%d n=%d", k, n)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, sizes)
+	sort.Float64s(sorted)
+	threshold := sorted[n-k]
+	if threshold <= 0 {
+		return 0, fmt.Errorf("adaptive: non-positive threshold %g", threshold)
+	}
+	var sum float64
+	for _, v := range sorted[n-k:] {
+		sum += math.Log(v / threshold)
+	}
+	if sum <= 0 {
+		return 0, fmt.Errorf("adaptive: degenerate tail (all top-%d values equal)", k)
+	}
+	return float64(k) / sum, nil
+}
+
+// MissProbability returns the probability that a flow drawn from d leaves
+// no sampled packet at rate p: E[(1-p)^S]. It is the quantity needed to
+// invert the observed flow count (Duffield et al., [9] in the paper).
+func MissProbability(d dist.SizeDist, p float64) float64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return 1
+	}
+	logq := math.Log1p(-p)
+	// E[(1-p)^S] = Int_0^1 exp(S(u) * log(1-p)) du in quantile space.
+	f := func(u float64) float64 {
+		if u <= 0 {
+			u = 1e-300
+		}
+		return math.Exp(d.QuantileCCDF(u) * logq)
+	}
+	return numeric.AdaptiveSimpson(f, 0, 1, 1e-10, 40)
+}
+
+// EstimatePopulation inverts one sampled bin: given the number of sampled
+// flows (>= 1 sampled packet), the total sampled packets, and the rate,
+// it estimates the true flow count and true mean flow size by fixed-point
+// iteration on a Pareto model with the given tail index.
+func EstimatePopulation(sampledFlows int, sampledPackets int64, p, beta float64) (nEst float64, meanEst float64, err error) {
+	if sampledFlows <= 0 || sampledPackets <= 0 {
+		return 0, 0, fmt.Errorf("adaptive: empty sampled bin")
+	}
+	if p <= 0 || p > 1 {
+		return 0, 0, fmt.Errorf("adaptive: rate %g outside (0, 1]", p)
+	}
+	if beta <= 1 {
+		return 0, 0, fmt.Errorf("adaptive: tail index %g <= 1 has no finite mean", beta)
+	}
+	// Initial guess: no flows missed.
+	nEst = float64(sampledFlows)
+	meanEst = float64(sampledPackets) / p / nEst
+	for iter := 0; iter < 60; iter++ {
+		d := dist.ParetoWithMean(meanEst, beta)
+		miss := MissProbability(d, p)
+		if miss >= 1 {
+			return 0, 0, fmt.Errorf("adaptive: sampling rate too low to invert")
+		}
+		nNext := float64(sampledFlows) / (1 - miss)
+		meanNext := float64(sampledPackets) / p / nNext
+		if meanNext < 1 {
+			meanNext = 1
+		}
+		if math.Abs(nNext-nEst) < 0.5 && math.Abs(meanNext-meanEst) < 1e-6*meanEst {
+			return nNext, meanNext, nil
+		}
+		nEst, meanEst = nNext, meanNext
+	}
+	return nEst, meanEst, nil
+}
+
+// Controller recommends sampling rates.
+type Controller struct {
+	// Target is the acceptable swapped-pairs metric (the paper deems a
+	// bin acceptable below 1).
+	Target float64
+	// TopT is the top-list length of interest.
+	TopT int
+	// Detection selects the §7 metric instead of the §5 ranking metric.
+	Detection bool
+	// MinRate and MaxRate clamp recommendations (defaults 1e-4 and 1).
+	MinRate, MaxRate float64
+}
+
+// Observation summarizes one sampled measurement bin.
+type Observation struct {
+	// Rate is the sampling rate the bin was collected at.
+	Rate float64
+	// SampledFlows is the number of flows with >= 1 sampled packet.
+	SampledFlows int
+	// SampledPackets is the total number of sampled packets.
+	SampledPackets int64
+	// SampledSizes are the per-flow sampled packet counts (used for the
+	// tail estimate); only the largest few hundred matter.
+	SampledSizes []float64
+}
+
+// Recommend estimates the population from the observation and returns the
+// cheapest rate whose predicted metric meets the target, together with the
+// fitted model.
+func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
+	minRate := c.MinRate
+	if minRate <= 0 {
+		minRate = 1e-4
+	}
+	maxRate := c.MaxRate
+	if maxRate <= 0 || maxRate > 1 {
+		maxRate = 1
+	}
+	if c.TopT < 1 {
+		return 0, core.Model{}, fmt.Errorf("adaptive: top-t %d must be >= 1", c.TopT)
+	}
+	if c.Target <= 0 {
+		return 0, core.Model{}, fmt.Errorf("adaptive: target %g must be positive", c.Target)
+	}
+
+	// Tail index from the sampled sizes: sampled counts of Pareto flows
+	// keep the tail index (thinning preserves the power-law exponent).
+	k := len(obs.SampledSizes) / 50
+	if k < 10 {
+		k = 10
+	}
+	beta, err := Hill(obs.SampledSizes, k)
+	if err != nil {
+		return 0, core.Model{}, fmt.Errorf("adaptive: estimating tail: %w", err)
+	}
+	if beta <= 1.05 {
+		beta = 1.05 // keep the fitted mean finite
+	}
+	nEst, meanEst, err := EstimatePopulation(obs.SampledFlows, obs.SampledPackets, obs.Rate, beta)
+	if err != nil {
+		return 0, core.Model{}, err
+	}
+	model := core.Model{
+		N:            int(nEst + 0.5),
+		T:            c.TopT,
+		Dist:         dist.ParetoWithMean(meanEst, beta),
+		PoissonTails: true,
+		Kernel:       core.KernelHybrid,
+	}
+	if model.N <= c.TopT {
+		model.N = c.TopT + 1
+	}
+	rate, err := model.RequiredRate(c.Target, c.Detection)
+	if err != nil {
+		// Even p≈1 cannot reach the target: recommend the ceiling.
+		return maxRate, model, nil
+	}
+	if rate < minRate {
+		rate = minRate
+	}
+	if rate > maxRate {
+		rate = maxRate
+	}
+	return rate, model, nil
+}

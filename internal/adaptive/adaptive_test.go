@@ -1,0 +1,172 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"flowrank/internal/dist"
+	"flowrank/internal/randx"
+)
+
+func TestHillRecoversParetoIndex(t *testing.T) {
+	g := randx.New(1)
+	for _, beta := range []float64{1.2, 1.5, 2.5} {
+		d := dist.Pareto{Scale: 1, Shape: beta}
+		sizes := make([]float64, 50000)
+		for i := range sizes {
+			sizes[i] = d.Rand(g)
+		}
+		got, err := Hill(sizes, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-beta) > 0.15*beta {
+			t.Errorf("Hill estimate %g, want %g", got, beta)
+		}
+	}
+}
+
+func TestHillErrors(t *testing.T) {
+	if _, err := Hill([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Hill([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := Hill([]float64{5, 5, 5, 5, 5}, 3); err == nil {
+		t.Error("degenerate tail accepted")
+	}
+}
+
+func TestMissProbability(t *testing.T) {
+	d := dist.ParetoWithMean(9.6, 1.5)
+	// Monte-Carlo reference.
+	g := randx.New(2)
+	for _, p := range []float64{0.01, 0.1, 0.5} {
+		const draws = 300000
+		missed := 0
+		for i := 0; i < draws; i++ {
+			s := int(math.Round(d.Rand(g)))
+			if s < 1 {
+				s = 1
+			}
+			if g.Binomial(s, p) == 0 {
+				missed++
+			}
+		}
+		mc := float64(missed) / draws
+		got := MissProbability(d, p)
+		// The analytic form uses continuous sizes; allow the
+		// discretization gap plus MC noise.
+		if math.Abs(got-mc) > 0.03 {
+			t.Errorf("p=%g: analytic %g vs MC %g", p, got, mc)
+		}
+	}
+	if MissProbability(d, 1) != 0 || MissProbability(d, 0) != 1 {
+		t.Error("edge rates wrong")
+	}
+}
+
+func TestEstimatePopulation(t *testing.T) {
+	// Synthesize a sampled bin from a known population and invert it.
+	g := randx.New(3)
+	d := dist.ParetoWithMean(9.6, 1.5)
+	trueN := 100000
+	p := 0.05
+	sampledFlows := 0
+	var sampledPackets int64
+	for i := 0; i < trueN; i++ {
+		s := int(math.Round(d.Rand(g)))
+		if s < 1 {
+			s = 1
+		}
+		got := g.Binomial(s, p)
+		if got > 0 {
+			sampledFlows++
+			sampledPackets += int64(got)
+		}
+	}
+	nEst, meanEst, err := EstimatePopulation(sampledFlows, sampledPackets, p, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nEst-float64(trueN)) > 0.1*float64(trueN) {
+		t.Errorf("N estimate %g, true %d", nEst, trueN)
+	}
+	if math.Abs(meanEst-9.6) > 0.15*9.6 {
+		t.Errorf("mean estimate %g, true 9.6", meanEst)
+	}
+}
+
+func TestEstimatePopulationErrors(t *testing.T) {
+	if _, _, err := EstimatePopulation(0, 0, 0.1, 1.5); err == nil {
+		t.Error("empty bin accepted")
+	}
+	if _, _, err := EstimatePopulation(10, 100, 0, 1.5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, _, err := EstimatePopulation(10, 100, 0.1, 0.9); err == nil {
+		t.Error("infinite-mean tail accepted")
+	}
+}
+
+func TestControllerRecommendEndToEnd(t *testing.T) {
+	// Build a sampled observation of a known Sprint-like population, ask
+	// for a ranking target, and verify the fitted model meets it at the
+	// recommended rate.
+	g := randx.New(4)
+	d := dist.ParetoWithMean(9.6, 1.5)
+	trueN := 200000
+	pObs := 0.1
+	obs := Observation{Rate: pObs}
+	for i := 0; i < trueN; i++ {
+		s := int(math.Round(d.Rand(g)))
+		if s < 1 {
+			s = 1
+		}
+		got := g.Binomial(s, pObs)
+		if got > 0 {
+			obs.SampledFlows++
+			obs.SampledPackets += int64(got)
+			obs.SampledSizes = append(obs.SampledSizes, float64(got))
+		}
+	}
+	ctl := Controller{Target: 1, TopT: 5}
+	rate, model, err := ctl.Recommend(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || rate > 1 {
+		t.Fatalf("recommended rate %g", rate)
+	}
+	if model.N < trueN/2 || model.N > trueN*2 {
+		t.Errorf("fitted N = %d, true %d", model.N, trueN)
+	}
+	// The recommendation must satisfy its own model.
+	if m := model.RankingMetric(rate); m > 1.3 {
+		t.Errorf("metric at recommended rate = %g, want <= ~1", m)
+	}
+	// Detection should need a lower rate than ranking.
+	ctlDet := Controller{Target: 1, TopT: 5, Detection: true}
+	rateDet, _, err := ctlDet.Recommend(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rateDet > rate {
+		t.Errorf("detection rate %g above ranking rate %g", rateDet, rate)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	obs := Observation{Rate: 0.1, SampledFlows: 100, SampledPackets: 1000,
+		SampledSizes: make([]float64, 100)}
+	for i := range obs.SampledSizes {
+		obs.SampledSizes[i] = float64(i + 1)
+	}
+	if _, _, err := (Controller{Target: 0, TopT: 5}).Recommend(obs); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, _, err := (Controller{Target: 1, TopT: 0}).Recommend(obs); err == nil {
+		t.Error("zero top-t accepted")
+	}
+}

@@ -1,0 +1,34 @@
+// Package core implements the analytical machinery of "Ranking flows from
+// sampled traffic" (Barakat, Iannaccone, Diot — INRIA RR-5266 / CoNEXT
+// 2005): the probability that packet sampling misranks two flows, and the
+// expected number of swapped flow pairs when ranking or detecting the
+// largest t flows among N under a given flow-size distribution.
+//
+// # Pairwise misranking (paper §3–4)
+//
+// MisrankExact evaluates Eq. (1): with flows of S1 < S2 packets sampled
+// i.i.d. at rate p, the sampled sizes are Binomial and the pair is
+// misranked when the smaller flow's sampled size is >= the larger's
+// (ties and the both-zero outcome count as misranked). MisrankGaussian is
+// the closed-form Normal approximation of Eq. (2),
+//
+//	Pm ≈ ½·erfc( |S2−S1| / sqrt(2(1/p−1)(S1+S2)) ),
+//
+// which is the form the general models build on. OptimalRate inverts either
+// formula for the minimum sampling rate that keeps the misranking
+// probability below a target (Figs. 1–2).
+//
+// # Ranking and detection models (paper §5–7)
+//
+// Model evaluates the two swapped-pairs metrics. Flow sizes follow a
+// continuous distribution (internal/dist); all integrals are taken in
+// quantile space u = CCDF(x), where the top-t membership weight
+// concentrates on u ≲ t/N and the distribution needs no infinite-domain
+// handling. Inner integrals over the "other" flow run in logarithmic
+// quantile space so that the sharp erfc kernel near equal sizes and the
+// slowly varying far field are both resolved by the same adaptive rule.
+//
+// DiscreteModel is a direct summation of the paper's discrete formulas for
+// small N; it exists to validate the continuous fast path and is what the
+// tests compare Monte-Carlo simulations against.
+package core

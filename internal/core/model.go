@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flowrank/internal/dist"
+	"flowrank/internal/numeric"
+)
+
+// Model evaluates the paper's ranking (§5–6) and detection (§7) metrics for
+// a traffic mix of N flows whose sizes follow Dist, when the top T flows
+// are of interest.
+//
+// The zero value is not usable; construct with the exported fields and call
+// Validate (or let the metric methods do it). A Model is immutable and safe
+// for concurrent use.
+type Model struct {
+	// N is the total number of flows in the measurement interval.
+	N int
+	// T is the number of top flows to rank or detect (t in the paper).
+	T int
+	// Dist is the flow size distribution in packets.
+	Dist dist.SizeDist
+
+	// PoissonTails selects the Poisson limit for the binomial top-t
+	// membership weights. It is numerically indistinguishable for
+	// N >= ~10^4 (see TestPoissonTailAccuracy) and substantially faster;
+	// the default (false) uses exact binomial weights.
+	PoissonTails bool
+
+	// Kernel selects the pairwise misranking kernel. KernelGaussian (the
+	// default) is the paper's Eq. 2 applied everywhere, reproducing the
+	// paper's model figures exactly. KernelHybrid switches to the exact
+	// binomial probability whenever p·min(s1,s2) < HybridThreshold, where
+	// the Gaussian tails badly overestimate misranking against the bulk
+	// of small flows; at low sampling rates this can change the metric by
+	// an order of magnitude and brings the model onto the trace-driven
+	// simulation (see EXPERIMENTS.md).
+	Kernel Kernel
+
+	// HybridThreshold is the p·size level below which KernelHybrid uses
+	// the exact binomial kernel (default 10).
+	HybridThreshold float64
+
+	// OuterOrder is the Gauss–Legendre order per outer panel
+	// (default 40).
+	OuterOrder int
+	// InnerTol is the absolute adaptive-quadrature tolerance of the inner
+	// integrals (default 1e-13).
+	InnerTol float64
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.N < 2 {
+		return fmt.Errorf("core: N = %d, need at least 2 flows", m.N)
+	}
+	if m.T < 1 || m.T >= m.N {
+		return fmt.Errorf("core: T = %d outside [1, N-1]", m.T)
+	}
+	if m.Dist == nil {
+		return fmt.Errorf("core: nil flow size distribution")
+	}
+	return nil
+}
+
+func (m Model) outerOrder() int {
+	if m.OuterOrder <= 0 {
+		return 40
+	}
+	return m.OuterOrder
+}
+
+func (m Model) innerTol() float64 {
+	if m.InnerTol <= 0 {
+		return 1e-13
+	}
+	return m.InnerTol
+}
+
+// Kernel selects the pairwise misranking kernel used inside a Model.
+type Kernel int
+
+const (
+	// KernelGaussian applies Eq. 2 to every pair — the paper's model.
+	KernelGaussian Kernel = iota
+	// KernelHybrid uses the exact binomial misranking probability where
+	// the smaller flow samples fewer than HybridThreshold packets in
+	// expectation, and Eq. 2 elsewhere.
+	KernelHybrid
+)
+
+func (m Model) hybridThreshold() float64 {
+	if m.HybridThreshold <= 0 {
+		return 10
+	}
+	return m.HybridThreshold
+}
+
+// kernel returns the misranking probability for continuous sizes
+// small <= large under the model's kernel selection.
+func (m Model) kernel(small, large, p float64) float64 {
+	if m.Kernel == KernelHybrid && p*small < m.hybridThreshold() {
+		s1 := int(math.Round(small))
+		if s1 < 1 {
+			s1 = 1
+		}
+		s2 := int(math.Round(large))
+		if s2 < 1 {
+			s2 = 1
+		}
+		return misrankExactTrunc(s1, s2, p)
+	}
+	return misrankKernel(small, large, p)
+}
+
+// lambdaMax is the Poisson intensity beyond which the top-t membership
+// weight is below ~1e-16 and the outer integral can be truncated.
+func lambdaMax(t int) float64 {
+	ft := float64(t)
+	return ft + 50 + 10*math.Sqrt(ft)
+}
+
+// uHi returns the quantile-space truncation point of the outer integral.
+func (m Model) uHi() float64 {
+	u := lambdaMax(m.T) / float64(m.N-1)
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// outerPanels returns quantile-space panel boundaries [0=w0 < w1 < ... = 1]
+// (as fractions of uHi) concentrating nodes around the top-t knee.
+func (m Model) outerPanels() []float64 {
+	lm := lambdaMax(m.T)
+	ft := float64(m.T)
+	w1 := ft / lm
+	w2 := (ft + 10 + 3*math.Sqrt(ft)) / lm
+	panels := []float64{0}
+	if w1 > 0.02 && w1 < 0.98 {
+		panels = append(panels, w1)
+	}
+	if w2 > w1+0.02 && w2 < 0.98 {
+		panels = append(panels, w2)
+	}
+	return append(panels, 1)
+}
+
+// RankingMetric returns the expected number of swapped flow pairs whose
+// first element is an original top-T flow — the paper's §5 performance
+// metric, (2N−t−1)·t/2 · P̄mt. Values below 1 mean the full ordered top-T
+// list is on average reproduced correctly from samples taken at rate p.
+func (m Model) RankingMetric(p float64) float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		// Everything unsampled: all pairs swapped.
+		n, t := float64(m.N), float64(m.T)
+		return (2*n - t - 1) * t / 2
+	}
+	uhi := m.uHi()
+	integrand := func(w float64) float64 {
+		u := w * uhi
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		x := m.Dist.QuantileCCDF(u)
+		below := TopProb(u, m.T, m.N-1, m.PoissonTails) * m.innerBelow(u, x, p)
+		var above float64
+		if m.T > 1 {
+			above = TopProb(u, m.T-1, m.N-1, m.PoissonTails) * m.innerAbove(u, x, p)
+		}
+		return below + above
+	}
+	integral := m.integrateOuter(integrand) * uhi
+	n, t := float64(m.N), float64(m.T)
+	return (2*n - t - 1) / 2 * n * integral
+}
+
+// AvgMisrankTop returns P̄mt, the probability that an average top-T flow is
+// swapped with an average other flow.
+func (m Model) AvgMisrankTop(p float64) float64 {
+	n, t := float64(m.N), float64(m.T)
+	return m.RankingMetric(p) / ((2*n - t - 1) * t / 2)
+}
+
+// DetectionMetric returns the expected number of swapped pairs straddling
+// the top-T boundary — the paper's §7 metric, t(N−t)·P̄*mt. Values below 1
+// mean the top-T *set* is on average recovered correctly.
+func (m Model) DetectionMetric(p float64) float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		n, t := float64(m.N), float64(m.T)
+		return t * (n - t)
+	}
+	uhi := m.uHi()
+	pmfBig := make([]float64, 0, m.T)
+	integrand := func(w float64) float64 {
+		u := w * uhi
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		x := m.Dist.QuantileCCDF(u)
+		pmfBig = topPMF(pmfBig, u, m.T, m.N, m.PoissonTails)
+		return m.innerDetect(pmfBig, u, x, p)
+	}
+	integral := m.integrateOuter(integrand) * uhi
+	n := float64(m.N)
+	return n * (n - 1) * integral
+}
+
+// AvgMisrankBoundary returns P̄*mt, the probability that an average top-T
+// flow is swapped with an average flow outside the top-T list.
+func (m Model) AvgMisrankBoundary(p float64) float64 {
+	n, t := float64(m.N), float64(m.T)
+	return m.DetectionMetric(p) / (t * (n - t))
+}
+
+// integrateOuter integrates f over w in [0, 1] with Gauss–Legendre panels
+// concentrated around the top-t membership knee.
+func (m Model) integrateOuter(f numeric.Func1) float64 {
+	panels := m.outerPanels()
+	order := m.outerOrder()
+	var acc numeric.KahanSum
+	for i := 0; i+1 < len(panels); i++ {
+		acc.Add(numeric.GaussLegendre(f, panels[i], panels[i+1], order))
+	}
+	return acc.Sum()
+}
+
+// innerBelow computes ∫_u^1 Pm(y(v), x) dv — the misranking mass against
+// all flows smaller than x — in logarithmic quantile space v = u·e^s, which
+// resolves both the sharp erfc kernel near y ≈ x and the slowly varying
+// bulk of small flows with one adaptive rule.
+func (m Model) innerBelow(u, x, p float64) float64 {
+	if u >= 1 {
+		return 0
+	}
+	smax := math.Log(1 / u)
+	f := func(s float64) float64 {
+		v := u * math.Exp(s)
+		if v > 1 {
+			v = 1
+		}
+		y := m.Dist.QuantileCCDF(v)
+		return v * m.kernel(y, x, p)
+	}
+	return numeric.AdaptiveSimpson(f, 0, smax, m.innerTol(), 48)
+}
+
+// innerAbove computes ∫_{vcut}^u Pm(x, y(v)) dv — the misranking mass
+// against larger flows — again in logarithmic quantile space v = u·e^{-s}.
+// The integral is truncated at the size beyond which the kernel is below
+// ~1e-18 (larger flows are essentially never outranked by x).
+func (m Model) innerAbove(u, x, p float64) float64 {
+	// Solve (y-x)/sqrt(2(1/p-1)(x+y)) = z* for y = x + Δ:
+	// Δ² = 2 z*² (1/p-1) (2x + Δ).
+	const zstar = 6.5 // erfc(6.5) ≈ 3e-20
+	c2 := 2 * zstar * zstar * (1/p - 1)
+	delta := (c2 + math.Sqrt(c2*c2+8*c2*x)) / 2
+	vcut := m.Dist.CCDF(x + delta)
+	if vcut < u*1e-30 {
+		vcut = u * 1e-30
+	}
+	if vcut >= u {
+		return 0
+	}
+	smax := math.Log(u / vcut)
+	f := func(s float64) float64 {
+		v := u * math.Exp(-s)
+		y := m.Dist.QuantileCCDF(v)
+		return v * m.kernel(x, y, p)
+	}
+	return numeric.AdaptiveSimpson(f, 0, smax, m.innerTol(), 48)
+}
+
+// innerDetect computes ∫_u^1 P*t(v, u) · Pm(y(v), x) dv for the detection
+// model: misranking of x (a top-T candidate) against smaller flows,
+// weighted by the probability that the pair actually straddles the top-T
+// boundary.
+func (m Model) innerDetect(pmfBig []float64, u, x, p float64) float64 {
+	if u >= 1 {
+		return 0
+	}
+	smax := math.Log(1 / u)
+	f := func(s float64) float64 {
+		v := u * math.Exp(s)
+		if v > 1 {
+			v = 1
+		}
+		y := m.Dist.QuantileCCDF(v)
+		kern := m.kernel(y, x, p)
+		if kern == 0 {
+			return 0
+		}
+		return v * kern * JointTopProb(pmfBig, v, u, m.T, m.N, m.PoissonTails)
+	}
+	return numeric.AdaptiveSimpson(f, 0, smax, m.innerTol(), 48)
+}
+
+// misrankKernel is MisrankGaussian with the arguments in (smaller, larger)
+// order, inlined for the hot loops.
+func misrankKernel(small, large, p float64) float64 {
+	return numeric.ErfcRatio(large-small, math.Sqrt(2*(1/p-1)*(small+large)))
+}
+
+// RequiredRate returns the minimum sampling rate at which the given metric
+// (RankingMetric or DetectionMetric, selected by detection) stays at or
+// below target — the paper's "minimum sampling rate for a desired
+// accuracy" question, usually asked with target = 1.
+func (m Model) RequiredRate(target float64, detection bool) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if target <= 0 {
+		return 0, fmt.Errorf("core: target metric %g must be positive", target)
+	}
+	metric := m.RankingMetric
+	if detection {
+		metric = m.DetectionMetric
+	}
+	const (
+		pLo = 1e-6
+		pHi = 1 - 1e-9
+	)
+	if metric(pLo) <= target {
+		return pLo, nil
+	}
+	f := func(lp float64) float64 {
+		return math.Log(metric(math.Exp(lp))+1e-300) - math.Log(target)
+	}
+	lo, hi := math.Log(pLo), math.Log(pHi)
+	if f(hi) > 0 {
+		return 0, fmt.Errorf("core: metric still above target %g at p≈1", target)
+	}
+	lp, err := numeric.Brent(f, lo, hi, 1e-6)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lp), nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTopProbEdges(t *testing.T) {
+	if got := TopProb(0.5, 0, 100, false); got != 0 {
+		t.Errorf("t=0: %g, want 0", got)
+	}
+	if got := TopProb(0.5, 100, 100, false); got != 1 {
+		t.Errorf("t>=n: %g, want 1", got)
+	}
+	if got := TopProb(0, 3, 100, false); got != 1 {
+		t.Errorf("u=0 (largest possible flow): %g, want 1", got)
+	}
+	if got := TopProb(1, 3, 100, false); got > 1e-12 {
+		t.Errorf("u=1 (smallest flow): %g, want ≈0", got)
+	}
+}
+
+func TestTopProbMonotone(t *testing.T) {
+	// Decreasing in u (larger tail prob = smaller flow), increasing in t.
+	prev := 1.1
+	for _, u := range []float64{1e-6, 1e-4, 1e-3, 1e-2, 0.1, 0.5} {
+		v := TopProb(u, 5, 1000, false)
+		if v > prev {
+			t.Fatalf("TopProb not decreasing in u at %g", u)
+		}
+		prev = v
+	}
+	prev = -0.1
+	for tt := 1; tt < 20; tt++ {
+		v := TopProb(0.005, tt, 1000, false)
+		if v < prev {
+			t.Fatalf("TopProb not increasing in t at %d", tt)
+		}
+		prev = v
+	}
+}
+
+func TestPoissonTailAccuracy(t *testing.T) {
+	// For the paper's N >= 1e5 regimes the Poisson limit of the binomial
+	// membership weight is indistinguishable.
+	n := 100000
+	for _, tt := range []int{1, 5, 25} {
+		for _, u := range []float64{1e-6, 1e-5, 1e-4, 5e-4} {
+			exact := TopProb(u, tt, n, false)
+			approx := TopProb(u, tt, n, true)
+			if !almostEqual(exact, approx, 1e-3) {
+				t.Errorf("t=%d u=%g: binomial %g vs poisson %g", tt, u, exact, approx)
+			}
+		}
+	}
+}
+
+func TestJointTopProbReductions(t *testing.T) {
+	n, tt := 10000, 5
+	u := 3e-4
+	pmfBig := topPMF(nil, u, tt, n, false)
+
+	// v -> 1 (the small flow is the smallest possible): the joint
+	// probability reduces to the plain top-t membership among N-1 flows.
+	joint := JointTopProb(pmfBig, 1, u, tt, n, false)
+	want := TopProb(u, tt, n-1, false)
+	if !almostEqual(joint, want, 1e-9) {
+		t.Errorf("JointTopProb(v=1) = %g, want TopProb = %g", joint, want)
+	}
+
+	// v -> u (the two flows have identical sizes): only the k = t-1 term
+	// survives, i.e. the larger flow sits exactly at the boundary.
+	joint = JointTopProb(pmfBig, u, u, tt, n, false)
+	if !almostEqual(joint, pmfBig[tt-1], 1e-9) {
+		t.Errorf("JointTopProb(v=u) = %g, want pmfBig[t-1] = %g", joint, pmfBig[tt-1])
+	}
+
+	// Joint never exceeds the marginal.
+	for _, v := range []float64{u, 2 * u, 0.01, 0.3, 1} {
+		j := JointTopProb(pmfBig, v, u, tt, n, false)
+		if j > TopProb(u, tt, n-1, false)+1e-9 {
+			t.Errorf("joint %g exceeds marginal at v=%g", j, v)
+		}
+	}
+}
+
+func TestJointTopProbTEquals1(t *testing.T) {
+	// §7.1: for t = 1 the detection and ranking problems coincide:
+	// P*t(j,i,1,N) = Pt(i,1,N-1).
+	n := 5000
+	u := 2e-4
+	pmfBig := topPMF(nil, u, 1, n, false)
+	for _, v := range []float64{u * 1.5, 0.001, 0.1, 1} {
+		joint := JointTopProb(pmfBig, v, u, 1, n, false)
+		want := TopProb(u, 1, n-1, false)
+		if !almostEqual(joint, want, 1e-9) {
+			t.Errorf("t=1, v=%g: joint %g, want %g", v, joint, want)
+		}
+	}
+}
+
+func TestJointTopProbPoissonAccuracy(t *testing.T) {
+	n := 200000
+	tt := 10
+	u := 4e-5
+	pmfExact := topPMF(nil, u, tt, n, false)
+	pmfPoisson := topPMF(nil, u, tt, n, true)
+	for _, v := range []float64{u * 1.01, u * 2, u * 20, 0.01, 0.5} {
+		exact := JointTopProb(pmfExact, v, u, tt, n, false)
+		approx := JointTopProb(pmfPoisson, v, u, tt, n, true)
+		if !almostEqual(exact, approx, 2e-3) {
+			t.Errorf("v=%g: exact %g vs poisson %g", v, exact, approx)
+		}
+	}
+}
+
+func TestJointTopProbMonotoneInV(t *testing.T) {
+	// The further apart the two flows, the likelier the pair straddles the
+	// boundary correctly: increasing in v.
+	n, tt := 50000, 8
+	u := 1e-4
+	pmfBig := topPMF(nil, u, tt, n, false)
+	prev := -0.1
+	for _, v := range []float64{u, u * 1.5, u * 3, u * 10, u * 100, 0.05, 0.4, 1} {
+		j := JointTopProb(pmfBig, v, u, tt, n, false)
+		if j < prev-1e-12 {
+			t.Fatalf("joint not increasing in v at %g: %g < %g", v, j, prev)
+		}
+		prev = j
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flowrank/internal/report"
+)
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := 16 + 5 // figures + extras
+	if len(ids) != want {
+		t.Errorf("%d experiment ids, want %d: %v", len(ids), want, ids)
+	}
+	for i := 1; i <= 16; i++ {
+		id := "fig" + pad2(i)
+		if Title(id) == "" {
+			t.Errorf("missing figure %s", id)
+		}
+	}
+}
+
+func pad2(i int) string {
+	if i < 10 {
+		return "0" + strconv.Itoa(i)
+	}
+	return strconv.Itoa(i)
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if Title("nope") != "" {
+		t.Error("unknown title should be empty")
+	}
+}
+
+// runAndRender executes an experiment at reduced scale and sanity-checks
+// the table structure.
+func runAndRender(t *testing.T, id string) []*report.Table {
+	t.Helper()
+	tables, err := Run(id, Options{Seed: 42})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || len(tab.Columns) < 2 || len(tab.Rows) == 0 {
+			t.Fatalf("%s: malformed table %+v", id, tab)
+		}
+		for ri, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Fatalf("%s: row %d has %d cells, want %d", id, ri, len(row), len(tab.Columns))
+			}
+		}
+		var buf bytes.Buffer
+		if err := tab.Fprint(&buf); err != nil {
+			t.Fatalf("%s: render: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), tab.ID) {
+			t.Fatalf("%s: render missing id", id)
+		}
+	}
+	return tables
+}
+
+func TestModelFiguresShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model figures take a few seconds")
+	}
+	// Fig 4: metric decreasing in p (down each column), increasing in t
+	// (across each row).
+	tabs := runAndRender(t, "fig04")
+	rows := tabs[0].Rows
+	for c := 1; c <= 5; c++ {
+		for r := 1; r < len(rows); r++ {
+			prev := mustFloat(t, rows[r-1][c])
+			cur := mustFloat(t, rows[r][c])
+			if cur > prev*1.01 {
+				t.Errorf("fig04 col %d: metric rose from %g to %g as p grew", c, prev, cur)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c := 2; c <= 5; c++ {
+			if mustFloat(t, row[c]) < mustFloat(t, row[c-1])*0.99 {
+				t.Errorf("fig04: metric should grow with t: row %v", row)
+			}
+		}
+	}
+}
+
+func TestDetectionBelowRankingFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model figures take a few seconds")
+	}
+	rank := runAndRender(t, "fig04")[0].Rows
+	det := runAndRender(t, "fig10")[0].Rows
+	if len(rank) != len(det) {
+		t.Fatal("row mismatch")
+	}
+	for r := range rank {
+		for c := 1; c <= 5; c++ {
+			if mustFloat(t, det[r][c]) > mustFloat(t, rank[r][c])*1.01 {
+				t.Errorf("detection above ranking at row %d col %d", r, c)
+			}
+		}
+	}
+}
+
+func TestSimFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim figures take tens of seconds")
+	}
+	tabs := runAndRender(t, "fig12")
+	if len(tabs) != 2 {
+		t.Fatalf("fig12 should emit 1-minute and 5-minute panels, got %d", len(tabs))
+	}
+	// Column layout: time, flows, then mean/std pairs for 4 rates; higher
+	// rates must rank better when averaged across bins.
+	rows := tabs[0].Rows
+	lowSum, highSum := 0.0, 0.0
+	for _, row := range rows {
+		lowSum += mustFloat(t, row[2])           // p=0.1% mean
+		highSum += mustFloat(t, row[len(row)-2]) // p=50% mean
+	}
+	if highSum >= lowSum {
+		t.Errorf("fig12: p=50%% (%g) should beat p=0.1%% (%g)", highSum, lowSum)
+	}
+	// Detection figure reuses the cached sim: must be cheap and lower.
+	det := runAndRender(t, "fig14")
+	detRows := det[0].Rows
+	for r := range rows {
+		for c := 2; c < len(rows[r]); c += 2 {
+			if mustFloat(t, detRows[r][c]) > mustFloat(t, rows[r][c])*1.01+1e-9 {
+				t.Errorf("fig14 detection above fig12 ranking at row %d col %d", r, c)
+			}
+		}
+	}
+}
+
+func TestExtrasRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extras take seconds")
+	}
+	for _, id := range []string{"kernels", "bounded", "seqest", "adaptive"} {
+		runAndRender(t, id)
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flowrank/internal/core"
+	"flowrank/internal/dist"
+	"flowrank/internal/report"
+)
+
+// Paper calibration constants (§6): mean flow sizes in packets (bytes per
+// [1] divided by 500-byte packets) and total flow counts per 5-minute
+// measurement interval.
+const (
+	meanPktsFiveTuple = 9.6  // 4.8 KB
+	meanPktsPrefix24  = 33.2 // 16.6 KB
+	nFiveTuple        = 700_000
+	nPrefix24         = 100_000
+	defaultBeta       = 1.5
+)
+
+func sprintModel(n, t int, meanPkts, beta float64) core.Model {
+	return core.Model{
+		N:            n,
+		T:            t,
+		Dist:         dist.ParetoWithMean(meanPkts, beta),
+		PoissonTails: true,
+	}
+}
+
+// sizeGridLog returns log-spaced integer sizes in [1, 1000] (Figs. 1, 3).
+func sizeGridLog(full bool) []int {
+	if full {
+		return []int{1, 2, 3, 5, 8, 13, 22, 36, 60, 100, 160, 270, 440, 700, 1000}
+	}
+	return []int{1, 3, 10, 30, 100, 300, 1000}
+}
+
+// sizeGridLinear returns linear-spaced sizes (Fig. 2).
+func sizeGridLinear(full bool) []int {
+	if full {
+		return []int{50, 150, 250, 350, 450, 550, 650, 750, 850, 950}
+	}
+	return []int{100, 300, 500, 700, 900}
+}
+
+// fig01 and fig02 print the optimal-rate surface p_d(S1, S2) for the
+// target misranking probability 0.1%.
+func optimalRateTable(id, title string, sizes []int) (*report.Table, error) {
+	t := &report.Table{ID: id, Title: title}
+	t.Columns = append(t.Columns, "S1\\S2")
+	for _, s2 := range sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d", s2))
+	}
+	for _, s1 := range sizes {
+		row := []interface{}{fmt.Sprintf("%d", s1)}
+		for _, s2 := range sizes {
+			p, err := core.OptimalRate(s1, s2, 1e-3, core.RateExact)
+			if err != nil {
+				return nil, fmt.Errorf("optimal rate (%d,%d): %w", s1, s2, err)
+			}
+			row = append(row, p*100)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"cells: minimum sampling rate (%) for misranking probability <= 0.1% (exact Eq. 1)",
+		"diagonal: equal sizes need rates near 100%; the surface narrows as |S2-S1| grows")
+	return t, nil
+}
+
+func fig01(opts Options) ([]*report.Table, error) {
+	t, err := optimalRateTable("fig01",
+		"optimal sampling rate (%), log-spaced sizes, Pm,d = 0.1%", sizeGridLog(opts.Full))
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+func fig02(opts Options) ([]*report.Table, error) {
+	t, err := optimalRateTable("fig02",
+		"optimal sampling rate (%), linear-spaced sizes, Pm,d = 0.1%", sizeGridLinear(opts.Full))
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"fixed gap k = S2-S1: the required rate increases with flow size (paper §3.2)")
+	return []*report.Table{t}, nil
+}
+
+func fig03(opts Options) ([]*report.Table, error) {
+	sizes := sizeGridLog(opts.Full)
+	t := &report.Table{
+		ID:    "fig03",
+		Title: "Gaussian approximation absolute error |Eq.1 - Eq.2| at p = 1%",
+	}
+	t.Columns = append(t.Columns, "S1\\S2")
+	for _, s2 := range sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d", s2))
+	}
+	for _, s1 := range sizes {
+		row := []interface{}{fmt.Sprintf("%d", s1)}
+		for _, s2 := range sizes {
+			row = append(row, core.GaussianAbsError(s1, s2, 0.01))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"error is near zero once one flow exceeds ~300 packets (pS > 3), large when both are small",
+		"the equal-size diagonal keeps a large error: the paper switches to a dedicated formula there")
+	return []*report.Table{t}, nil
+}
+
+// metricSweep renders a "metric vs p" figure with one column per model
+// variant.
+func metricSweep(id, title string, rates []float64, cols []string,
+	eval func(rate float64, col int) float64) *report.Table {
+	t := &report.Table{ID: id, Title: title}
+	t.Columns = append([]string{"p(%)"}, cols...)
+	for _, p := range rates {
+		row := []interface{}{percent(p)}
+		for c := range cols {
+			row = append(row, eval(p, c))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "cells: average number of swapped flow pairs; values below 1 are acceptable (paper's criterion)")
+	return t
+}
+
+var tSweep = []int{1, 2, 5, 10, 25}
+
+func fig04(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	models := make([]core.Model, len(tSweep))
+	cols := make([]string, len(tSweep))
+	for i, tt := range tSweep {
+		models[i] = sprintModel(nFiveTuple, tt, meanPktsFiveTuple, defaultBeta)
+		cols[i] = fmt.Sprintf("t=%d", tt)
+	}
+	t := metricSweep("fig04",
+		"ranking: 5-tuple flows, N = 0.7M, beta = 1.5, varying t",
+		rates, cols, func(p float64, c int) float64 { return models[c].RankingMetric(p) })
+	return []*report.Table{t}, nil
+}
+
+func fig05(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	models := make([]core.Model, len(tSweep))
+	cols := make([]string, len(tSweep))
+	for i, tt := range tSweep {
+		models[i] = sprintModel(nPrefix24, tt, meanPktsPrefix24, defaultBeta)
+		cols[i] = fmt.Sprintf("t=%d", tt)
+	}
+	t := metricSweep("fig05",
+		"ranking: /24 prefix flows, N = 0.1M, beta = 1.5, varying t",
+		rates, cols, func(p float64, c int) float64 { return models[c].RankingMetric(p) })
+	t.Notes = append(t.Notes, "coarser aggregation does not significantly improve the ranking (paper §6.1)")
+	return []*report.Table{t}, nil
+}
+
+var betaSweep = []float64{3, 2.5, 2, 1.5, 1.2}
+
+func fig06(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	models := make([]core.Model, len(betaSweep))
+	cols := make([]string, len(betaSweep))
+	for i, b := range betaSweep {
+		models[i] = sprintModel(nFiveTuple, 10, meanPktsFiveTuple, b)
+		cols[i] = fmt.Sprintf("beta=%.2g", b)
+	}
+	t := metricSweep("fig06",
+		"ranking: 5-tuple flows, N = 0.7M, t = 10, varying beta",
+		rates, cols, func(p float64, c int) float64 { return models[c].RankingMetric(p) })
+	t.Notes = append(t.Notes, "heavier tails (smaller beta) rank better (paper §6.2)")
+	return []*report.Table{t}, nil
+}
+
+func fig07(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	models := make([]core.Model, len(betaSweep))
+	cols := make([]string, len(betaSweep))
+	for i, b := range betaSweep {
+		models[i] = sprintModel(nPrefix24, 10, meanPktsPrefix24, b)
+		cols[i] = fmt.Sprintf("beta=%.2g", b)
+	}
+	t := metricSweep("fig07",
+		"ranking: /24 prefix flows, N = 0.1M, t = 10, varying beta",
+		rates, cols, func(p float64, c int) float64 { return models[c].RankingMetric(p) })
+	return []*report.Table{t}, nil
+}
+
+func fig08(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	ns := []int{140_000, 350_000, 700_000, 1_750_000, 2_800_000, 3_500_000}
+	models := make([]core.Model, len(ns))
+	cols := make([]string, len(ns))
+	for i, n := range ns {
+		models[i] = sprintModel(n, 10, meanPktsFiveTuple, defaultBeta)
+		cols[i] = fmt.Sprintf("N=%s", humanN(n))
+	}
+	t := metricSweep("fig08",
+		"ranking: 5-tuple flows, t = 10, beta = 1.5, varying N",
+		rates, cols, func(p float64, c int) float64 { return models[c].RankingMetric(p) })
+	t.Notes = append(t.Notes,
+		"accuracy improves with N (larger top flows)",
+		"see EXPERIMENTS.md: direct simulation contradicts the paper's claim that 0.1% suffices at N = 3.5M")
+	return []*report.Table{t}, nil
+}
+
+func fig09(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	ns := []int{20_000, 50_000, 100_000, 250_000, 400_000, 500_000}
+	models := make([]core.Model, len(ns))
+	cols := make([]string, len(ns))
+	for i, n := range ns {
+		models[i] = sprintModel(n, 10, meanPktsPrefix24, defaultBeta)
+		cols[i] = fmt.Sprintf("N=%s", humanN(n))
+	}
+	t := metricSweep("fig09",
+		"ranking: /24 prefix flows, t = 10, beta = 1.5, varying N",
+		rates, cols, func(p float64, c int) float64 { return models[c].RankingMetric(p) })
+	return []*report.Table{t}, nil
+}
+
+func fig10(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	models := make([]core.Model, len(tSweep))
+	cols := make([]string, len(tSweep))
+	for i, tt := range tSweep {
+		models[i] = sprintModel(nFiveTuple, tt, meanPktsFiveTuple, defaultBeta)
+		cols[i] = fmt.Sprintf("t=%d", tt)
+	}
+	t := metricSweep("fig10",
+		"detection: 5-tuple flows, N = 0.7M, beta = 1.5, varying t",
+		rates, cols, func(p float64, c int) float64 { return models[c].DetectionMetric(p) })
+	t.Notes = append(t.Notes, "detection needs roughly an order of magnitude lower rate than ranking (paper §7.2)")
+	return []*report.Table{t}, nil
+}
+
+func fig11(opts Options) ([]*report.Table, error) {
+	rates := rateGrid(opts.Full)
+	models := make([]core.Model, len(tSweep))
+	cols := make([]string, len(tSweep))
+	for i, tt := range tSweep {
+		models[i] = sprintModel(nPrefix24, tt, meanPktsPrefix24, defaultBeta)
+		cols[i] = fmt.Sprintf("t=%d", tt)
+	}
+	t := metricSweep("fig11",
+		"detection: /24 prefix flows, N = 0.1M, beta = 1.5, varying t",
+		rates, cols, func(p float64, c int) float64 { return models[c].DetectionMetric(p) })
+	return []*report.Table{t}, nil
+}
+
+func humanN(n int) string {
+	switch {
+	case n >= 1_000_000 && n%100_000 == 0:
+		return fmt.Sprintf("%.2gM", float64(n)/1e6)
+	case n >= 1000:
+		return fmt.Sprintf("%dK", n/1000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,168 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	a, err := ParseAddr("192.168.1.200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != (Addr{192, 168, 1, 200}) {
+		t.Errorf("parsed %v", a)
+	}
+	if a.String() != "192.168.1.200" {
+		t.Errorf("String() = %q", a.String())
+	}
+	if _, err := ParseAddr("not-an-ip"); err == nil {
+		t.Error("expected error for garbage")
+	}
+	if _, err := ParseAddr("::1"); err == nil {
+		t.Error("expected error for IPv6")
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr should panic on bad input")
+		}
+	}()
+	MustParseAddr("999.1.1.1")
+}
+
+func TestAddrMask(t *testing.T) {
+	a := Addr{10, 20, 30, 40}
+	cases := []struct {
+		bits int
+		want Addr
+	}{
+		{32, Addr{10, 20, 30, 40}},
+		{24, Addr{10, 20, 30, 0}},
+		{16, Addr{10, 20, 0, 0}},
+		{8, Addr{10, 0, 0, 0}},
+		{0, Addr{}},
+		{-4, Addr{}},
+		{20, Addr{10, 20, 16, 0}}, // 30 = 0b00011110 -> 0b00010000
+		{40, Addr{10, 20, 30, 40}},
+	}
+	for _, c := range cases {
+		if got := a.Mask(c.bits); got != c.want {
+			t.Errorf("Mask(%d) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestKeyReverse(t *testing.T) {
+	k := Key{
+		Src: Addr{1, 2, 3, 4}, Dst: Addr{5, 6, 7, 8},
+		SrcPort: 1234, DstPort: 80, Proto: ProtoTCP,
+	}
+	r := k.Reverse()
+	if r.Src != k.Dst || r.Dst != k.Src || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Errorf("Reverse() = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("double reverse must be identity")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{
+		Src: Addr{10, 0, 0, 1}, Dst: Addr{10, 0, 0, 2},
+		SrcPort: 4444, DstPort: 443, Proto: ProtoTCP,
+	}
+	want := "tcp 10.0.0.1:4444 > 10.0.0.2:443"
+	if k.String() != want {
+		t.Errorf("String() = %q, want %q", k.String(), want)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" || ProtoICMP.String() != "icmp" {
+		t.Error("wrong well-known protocol names")
+	}
+	if Proto(250).String() != "proto-250" {
+		t.Errorf("unknown proto = %q", Proto(250).String())
+	}
+}
+
+func TestFastHashSpreads(t *testing.T) {
+	// Keys differing in one field must almost never collide.
+	base := Key{Src: Addr{10, 0, 0, 1}, Dst: Addr{10, 0, 0, 2}, SrcPort: 1, DstPort: 2, Proto: ProtoTCP}
+	seen := map[uint64]bool{}
+	collisions := 0
+	for port := 0; port < 20000; port++ {
+		k := base
+		k.SrcPort = uint16(port)
+		h := k.FastHash()
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions > 0 {
+		t.Errorf("%d hash collisions over 20000 single-field variations", collisions)
+	}
+}
+
+func TestFastHashDeterministic(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, proto uint8) bool {
+		k := Key{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return k.FastHash() == k.FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	k := Key{
+		Src: Addr{1, 2, 3, 4}, Dst: Addr{10, 20, 30, 40},
+		SrcPort: 5555, DstPort: 80, Proto: ProtoTCP,
+	}
+	if got := (FiveTuple{}).Aggregate(k); got != k {
+		t.Errorf("FiveTuple changed the key: %v", got)
+	}
+	got := (DstPrefix{Bits: 24}).Aggregate(k)
+	want := Key{Dst: Addr{10, 20, 30, 0}}
+	if got != want {
+		t.Errorf("DstPrefix(24) = %v, want %v", got, want)
+	}
+	// Two flows to the same /24 collapse to the same key.
+	k2 := k
+	k2.Dst = Addr{10, 20, 30, 77}
+	k2.SrcPort = 1111
+	if (DstPrefix{Bits: 24}).Aggregate(k) != (DstPrefix{Bits: 24}).Aggregate(k2) {
+		t.Error("same /24 must aggregate to the same key")
+	}
+	if (FiveTuple{}).String() != "5-tuple" {
+		t.Error("FiveTuple label")
+	}
+	if (DstPrefix{Bits: 24}).String() != "/24 dst prefix" {
+		t.Error("DstPrefix label")
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	good := Record{Start: 1, Duration: 2, Packets: 3, Bytes: 1500}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	if good.End() != 3 {
+		t.Errorf("End() = %g", good.End())
+	}
+	bad := []Record{
+		{Start: 1, Duration: 2, Packets: 0},
+		{Start: 1, Duration: -1, Packets: 3},
+		{Start: -1, Duration: 1, Packets: 3},
+		{Start: 1, Duration: 1, Packets: 3, Bytes: -5},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

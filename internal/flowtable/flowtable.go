@@ -1,0 +1,180 @@
+// Package flowtable provides per-bin flow accounting: classify packets
+// into flows under a chosen aggregation, count packets and bytes, and
+// extract the top-k list — the link-monitor half of the paper's pipeline.
+//
+// Table is the exact, unbounded accounting used by the experiments.
+// Bounded is the limited-memory variant the paper's related work ([11],
+// [13]) studies: a fixed number of slots with bottom-eviction when a new
+// flow arrives and the memory is full.
+package flowtable
+
+import (
+	"bytes"
+	"container/heap"
+	"sort"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/packet"
+)
+
+// Entry is one flow's accounting state.
+type Entry struct {
+	Key     flow.Key
+	Packets int64
+	Bytes   int64
+	// First and Last are the timestamps of the first and most recent
+	// accounted packet.
+	First, Last float64
+}
+
+// Less orders entries by descending packet count with a deterministic
+// key-based tiebreak, the canonical ranking order of this module.
+func Less(a, b Entry) bool {
+	if a.Packets != b.Packets {
+		return a.Packets > b.Packets
+	}
+	return keyLess(a.Key, b.Key)
+}
+
+func keyLess(a, b flow.Key) bool {
+	if c := bytes.Compare(a.Src[:], b.Src[:]); c != 0 {
+		return c < 0
+	}
+	if c := bytes.Compare(a.Dst[:], b.Dst[:]); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+// Table is an exact flow accounting table. The zero value is not usable;
+// construct with New.
+type Table struct {
+	agg     flow.Aggregator
+	entries map[flow.Key]*Entry
+	packets int64
+	bytesT  int64
+}
+
+// New returns an empty table classifying packets under agg.
+func New(agg flow.Aggregator) *Table {
+	return &Table{agg: agg, entries: make(map[flow.Key]*Entry)}
+}
+
+// Add accounts one packet.
+func (t *Table) Add(p packet.Packet) {
+	k := t.agg.Aggregate(p.Key)
+	e, ok := t.entries[k]
+	if !ok {
+		e = &Entry{Key: k, First: p.Time}
+		t.entries[k] = e
+	}
+	e.Packets++
+	e.Bytes += int64(p.Size)
+	e.Last = p.Time
+	t.packets++
+	t.bytesT += int64(p.Size)
+}
+
+// AddCount accounts an aggregate observation: pkts packets and byteCount
+// bytes for the flow key (already aggregated). It is the fast-path entry
+// point used by the flow-bin simulator.
+func (t *Table) AddCount(key flow.Key, pkts, byteCount int64) {
+	if pkts <= 0 {
+		return
+	}
+	e, ok := t.entries[key]
+	if !ok {
+		e = &Entry{Key: key}
+		t.entries[key] = e
+	}
+	e.Packets += pkts
+	e.Bytes += byteCount
+	t.packets += pkts
+	t.bytesT += byteCount
+}
+
+// Len returns the number of distinct flows.
+func (t *Table) Len() int { return len(t.entries) }
+
+// TotalPackets returns the number of accounted packets.
+func (t *Table) TotalPackets() int64 { return t.packets }
+
+// TotalBytes returns the number of accounted bytes.
+func (t *Table) TotalBytes() int64 { return t.bytesT }
+
+// Lookup returns the entry for an (aggregated) key, if present.
+func (t *Table) Lookup(key flow.Key) (Entry, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Reset clears the table for the next measurement bin.
+func (t *Table) Reset() {
+	clear(t.entries)
+	t.packets, t.bytesT = 0, 0
+}
+
+// Entries returns all flows sorted by the canonical ranking order.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// Top returns the k largest flows in ranking order without sorting the
+// whole table: a size-k min-heap pass, O(n log k).
+func (t *Table) Top(k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	h := make(entryMinHeap, 0, k+1)
+	for _, e := range t.entries {
+		if len(h) < k {
+			h = append(h, *e)
+			if len(h) == k {
+				heap.Init(&h)
+			}
+			continue
+		}
+		// Replace the heap minimum when e ranks above it.
+		if Less(*e, h[0]) {
+			h[0] = *e
+			heap.Fix(&h, 0)
+		}
+	}
+	if len(h) < k {
+		heap.Init(&h)
+	}
+	out := make([]Entry, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Entry)
+	}
+	return out
+}
+
+// entryMinHeap keeps the currently-lowest-ranked entry at the root.
+type entryMinHeap []Entry
+
+func (h entryMinHeap) Len() int            { return len(h) }
+func (h entryMinHeap) Less(i, j int) bool  { return Less(h[j], h[i]) }
+func (h entryMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryMinHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

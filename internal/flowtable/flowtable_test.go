@@ -1,0 +1,226 @@
+package flowtable
+
+import (
+	"sort"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/packet"
+	"flowrank/internal/randx"
+)
+
+func pkt(srcLast byte, size int, t float64) packet.Packet {
+	return packet.Packet{
+		Time: t,
+		Key: flow.Key{
+			Src: flow.Addr{10, 0, 0, srcLast}, Dst: flow.Addr{10, 9, 9, 9},
+			SrcPort: 1000 + uint16(srcLast), DstPort: 80, Proto: flow.ProtoTCP,
+		},
+		Size: size,
+	}
+}
+
+func TestTableAccounting(t *testing.T) {
+	tab := New(flow.FiveTuple{})
+	tab.Add(pkt(1, 500, 0.1))
+	tab.Add(pkt(1, 700, 0.5))
+	tab.Add(pkt(2, 100, 0.2))
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.TotalPackets() != 3 || tab.TotalBytes() != 1300 {
+		t.Errorf("totals: %d pkts %d bytes", tab.TotalPackets(), tab.TotalBytes())
+	}
+	e, ok := tab.Lookup(pkt(1, 0, 0).Key)
+	if !ok {
+		t.Fatal("flow 1 missing")
+	}
+	if e.Packets != 2 || e.Bytes != 1200 || e.First != 0.1 || e.Last != 0.5 {
+		t.Errorf("entry = %+v", e)
+	}
+	tab.Reset()
+	if tab.Len() != 0 || tab.TotalPackets() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTableAggregation(t *testing.T) {
+	tab := New(flow.DstPrefix{Bits: 24})
+	a := pkt(1, 500, 0)
+	b := pkt(2, 500, 0)
+	// Same /24 destination -> one aggregate flow.
+	tab.Add(a)
+	tab.Add(b)
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1 aggregated flow", tab.Len())
+	}
+}
+
+func TestAddCount(t *testing.T) {
+	tab := New(flow.FiveTuple{})
+	k := pkt(1, 0, 0).Key
+	tab.AddCount(k, 10, 5000)
+	tab.AddCount(k, 5, 2500)
+	tab.AddCount(k, 0, 999) // ignored
+	e, _ := tab.Lookup(k)
+	if e.Packets != 15 || e.Bytes != 7500 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestTopMatchesFullSort(t *testing.T) {
+	g := randx.New(3)
+	tab := New(flow.FiveTuple{})
+	for i := 0; i < 5000; i++ {
+		k := flow.Key{
+			Src:     flow.Addr{byte(g.IntN(40)), byte(g.IntN(40)), 0, 1},
+			Dst:     flow.Addr{10, 0, 0, 1},
+			SrcPort: uint16(g.IntN(100)), DstPort: 80, Proto: flow.ProtoTCP,
+		}
+		tab.AddCount(k, int64(1+g.IntN(50)), 500)
+	}
+	full := tab.Entries()
+	for _, k := range []int{1, 5, 17, 100, tab.Len(), tab.Len() + 10} {
+		top := tab.Top(k)
+		want := k
+		if want > len(full) {
+			want = len(full)
+		}
+		if len(top) != want {
+			t.Fatalf("Top(%d) returned %d entries", k, len(top))
+		}
+		for i := range top {
+			if top[i] != full[i] {
+				t.Fatalf("Top(%d)[%d] = %+v, full sort has %+v", k, i, top[i], full[i])
+			}
+		}
+	}
+	if got := tab.Top(0); got != nil {
+		t.Error("Top(0) should be nil")
+	}
+}
+
+func TestEntriesSortedAndDeterministic(t *testing.T) {
+	tab := New(flow.FiveTuple{})
+	// Several flows with equal counts: order must be deterministic.
+	for i := 0; i < 50; i++ {
+		tab.AddCount(pkt(byte(i), 0, 0).Key, 7, 700)
+	}
+	a := tab.Entries()
+	b := tab.Entries()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Entries order not deterministic under ties")
+		}
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return Less(a[i], a[j]) }) {
+		t.Error("Entries not sorted by canonical order")
+	}
+}
+
+func TestBoundedEvictsSmallest(t *testing.T) {
+	b := NewBounded(flow.FiveTuple{}, 3)
+	// Flows 1..3 get 5,10,15 packets; flow 4 arrives and must evict flow 1.
+	for i := 0; i < 5; i++ {
+		b.Add(pkt(1, 100, float64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		b.Add(pkt(2, 100, float64(i)))
+	}
+	for i := 0; i < 15; i++ {
+		b.Add(pkt(3, 100, float64(i)))
+	}
+	b.Add(pkt(4, 100, 99))
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if _, ok := b.Lookup(pkt(1, 0, 0).Key); ok {
+		t.Error("smallest flow should have been evicted")
+	}
+	if _, ok := b.Lookup(pkt(3, 0, 0).Key); !ok {
+		t.Error("largest flow must survive")
+	}
+	if b.Evictions() != 1 {
+		t.Errorf("Evictions = %d", b.Evictions())
+	}
+}
+
+func TestBoundedKeepsHeavyHittersUnderChurn(t *testing.T) {
+	g := randx.New(8)
+	b := NewBounded(flow.FiveTuple{}, 64)
+	heavy := pkt(200, 100, 0).Key
+	// Interleave one heavy flow with a churn of one-packet flows.
+	for i := 0; i < 20000; i++ {
+		if i%4 == 0 {
+			b.Add(packet.Packet{Key: heavy, Size: 100, Time: float64(i)})
+		} else {
+			k := flow.Key{
+				Src:     flow.Addr{byte(g.IntN(250)), byte(g.IntN(250)), byte(g.IntN(250)), 1},
+				Dst:     flow.Addr{1, 1, 1, 1},
+				SrcPort: uint16(g.IntN(60000)), Proto: flow.ProtoUDP,
+			}
+			b.Add(packet.Packet{Key: k, Size: 40, Time: float64(i)})
+		}
+	}
+	e, ok := b.Lookup(heavy)
+	if !ok {
+		t.Fatal("heavy hitter evicted")
+	}
+	if e.Packets != 5000 {
+		t.Errorf("heavy hitter count = %d, want 5000", e.Packets)
+	}
+	if b.Len() > 64 {
+		t.Errorf("table over capacity: %d", b.Len())
+	}
+	top := b.Top(1)
+	if len(top) != 1 || top[0].Key != heavy {
+		t.Error("heavy hitter should rank first")
+	}
+}
+
+func TestBoundedReset(t *testing.T) {
+	b := NewBounded(flow.FiveTuple{}, 2)
+	b.Add(pkt(1, 100, 0))
+	b.Add(pkt(2, 100, 0))
+	b.Add(pkt(3, 100, 0))
+	b.Reset()
+	if b.Len() != 0 || b.Evictions() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	b.Add(pkt(5, 100, 0))
+	if b.Len() != 1 {
+		t.Error("table unusable after Reset")
+	}
+}
+
+func BenchmarkTableAdd(b *testing.B) {
+	tab := New(flow.FiveTuple{})
+	g := randx.New(1)
+	pkts := make([]packet.Packet, 4096)
+	for i := range pkts {
+		pkts[i] = pkt(byte(g.IntN(256)), 500, float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Add(pkts[i&4095])
+	}
+}
+
+func BenchmarkBoundedAdd(b *testing.B) {
+	tab := NewBounded(flow.FiveTuple{}, 1024)
+	g := randx.New(1)
+	pkts := make([]packet.Packet, 4096)
+	for i := range pkts {
+		pkts[i] = packet.Packet{
+			Key: flow.Key{
+				Src:     flow.Addr{byte(g.IntN(256)), byte(g.IntN(256)), byte(g.IntN(256)), 1},
+				SrcPort: uint16(g.IntN(60000)),
+			},
+			Size: 500,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Add(pkts[i&4095])
+	}
+}

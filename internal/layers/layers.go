@@ -1,0 +1,372 @@
+// Package layers implements the minimal wire-format encode/decode the
+// experiments need — Ethernet II, IPv4, TCP and UDP — in the style of
+// gopacket's DecodingLayer: decoding fills caller-owned structs with no
+// allocation, and a Parser drives the usual Ethernet→IPv4→TCP/UDP chain
+// and extracts the 5-tuple flow key.
+//
+// Encoding is the mirror image: Frame serializes a synthetic packet for a
+// flow key (used by the pcap exporter), computing real IPv4 header and
+// TCP/UDP pseudo-header checksums so that generated traces survive
+// third-party tooling.
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flowrank/internal/flow"
+)
+
+// EtherType values understood by the parser.
+const (
+	EtherTypeIPv4 = 0x0800
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("layers: truncated packet")
+	ErrNotIPv4     = errors.New("layers: not an IPv4 packet")
+	ErrBadChecksum = errors.New("layers: bad IPv4 header checksum")
+	ErrBadHeader   = errors.New("layers: malformed header")
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	DstMAC, SrcMAC [6]byte
+	EtherType      uint16
+}
+
+// headerLen constants.
+const (
+	EthernetHeaderLen = 14
+	IPv4MinHeaderLen  = 20
+	TCPMinHeaderLen   = 20
+	UDPHeaderLen      = 8
+)
+
+// DecodeFromBytes parses the header and returns the payload.
+func (e *Ethernet) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, ErrTruncated
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[EthernetHeaderLen:], nil
+}
+
+// AppendTo serializes the header onto buf.
+func (e *Ethernet) AppendTo(buf []byte) []byte {
+	buf = append(buf, e.DstMAC[:]...)
+	buf = append(buf, e.SrcMAC[:]...)
+	return binary.BigEndian.AppendUint16(buf, e.EtherType)
+}
+
+// IPv4 is an IPv4 header (options unsupported on encode, skipped on
+// decode).
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length including header
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol flow.Proto
+	Checksum uint16
+	Src, Dst flow.Addr
+	ihl      int
+}
+
+// DecodeFromBytes parses the header, verifies the checksum, and returns
+// the L4 payload (truncated to the header's total length when the capture
+// includes padding).
+func (ip *IPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < IPv4MinHeaderLen {
+		return nil, ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return nil, ErrNotIPv4
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4MinHeaderLen || len(data) < ihl {
+		return nil, ErrBadHeader
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	ip.ihl = ihl
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ip.Flags = data[6] >> 5
+	ip.FragOff = binary.BigEndian.Uint16(data[6:8]) & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = flow.Proto(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	if int(ip.Length) < ihl {
+		return nil, ErrBadHeader
+	}
+	end := int(ip.Length)
+	if end > len(data) {
+		end = len(data) // truncated capture: deliver what we have
+	}
+	return data[ihl:end], nil
+}
+
+// AppendTo serializes a 20-byte header with a freshly computed checksum.
+// ip.Length must already count header plus payload.
+func (ip *IPv4) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0x45, ip.TOS)
+	buf = binary.BigEndian.AppendUint16(buf, ip.Length)
+	buf = binary.BigEndian.AppendUint16(buf, ip.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(ip.Flags)<<13|ip.FragOff)
+	buf = append(buf, ip.TTL, byte(ip.Protocol))
+	buf = binary.BigEndian.AppendUint16(buf, 0) // checksum placeholder
+	buf = append(buf, ip.Src[:]...)
+	buf = append(buf, ip.Dst[:]...)
+	cs := Checksum(buf[start:])
+	binary.BigEndian.PutUint16(buf[start+10:], cs)
+	return buf
+}
+
+// TCP is a TCP header (options unsupported on encode, skipped on decode).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       int
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+)
+
+// DecodeFromBytes parses the header and returns the payload.
+func (t *TCP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < TCPMinHeaderLen {
+		return nil, ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < TCPMinHeaderLen || len(data) < off {
+		return nil, ErrBadHeader
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = off
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	return data[off:], nil
+}
+
+// AppendTo serializes a 20-byte header; the checksum is computed by the
+// caller (Frame) because it spans the pseudo-header and payload.
+func (t *TCP) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, t.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, t.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, t.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, t.Ack)
+	buf = append(buf, 5<<4, t.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, t.Window)
+	buf = binary.BigEndian.AppendUint16(buf, 0) // checksum placeholder
+	return binary.BigEndian.AppendUint16(buf, 0)
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// DecodeFromBytes parses the header and returns the payload.
+func (u *UDP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen {
+		return nil, ErrBadHeader
+	}
+	return data[UDPHeaderLen:], nil
+}
+
+// AppendTo serializes the header with a zero checksum placeholder.
+func (u *UDP) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, u.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, u.DstPort)
+	buf = binary.BigEndian.AppendUint16(buf, u.Length)
+	return binary.BigEndian.AppendUint16(buf, u.Checksum)
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderChecksum folds the IPv4 pseudo-header into an initial sum.
+func pseudoHeaderSum(src, dst flow.Addr, proto flow.Proto, l4len int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}
+
+// L4Checksum computes the TCP/UDP checksum over pseudo-header plus
+// segment.
+func L4Checksum(src, dst flow.Addr, proto flow.Proto, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	for len(segment) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[:2]))
+		segment = segment[2:]
+	}
+	if len(segment) == 1 {
+		sum += uint32(segment[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Decoded reports which layers a Parse call filled in.
+type Decoded struct {
+	HasEthernet, HasIPv4, HasTCP, HasUDP bool
+}
+
+// Parser decodes Ethernet/IPv4/TCP-or-UDP frames into preallocated layer
+// structs, gopacket DecodingLayerParser style: zero allocation per packet.
+// Not safe for concurrent use; create one per goroutine.
+type Parser struct {
+	Eth Ethernet
+	IP  IPv4
+	TCP TCP
+	UDP UDP
+}
+
+// Parse decodes frame and returns the 5-tuple key. Unknown transports
+// yield a key with ports zero but a valid address pair.
+func (p *Parser) Parse(frame []byte) (flow.Key, Decoded, error) {
+	var dec Decoded
+	payload, err := p.Eth.DecodeFromBytes(frame)
+	if err != nil {
+		return flow.Key{}, dec, err
+	}
+	dec.HasEthernet = true
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return flow.Key{}, dec, ErrNotIPv4
+	}
+	l4, err := p.IP.DecodeFromBytes(payload)
+	if err != nil {
+		return flow.Key{}, dec, err
+	}
+	dec.HasIPv4 = true
+	key := flow.Key{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Protocol}
+	switch p.IP.Protocol {
+	case flow.ProtoTCP:
+		if _, err := p.TCP.DecodeFromBytes(l4); err != nil {
+			return key, dec, err
+		}
+		dec.HasTCP = true
+		key.SrcPort, key.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case flow.ProtoUDP:
+		if _, err := p.UDP.DecodeFromBytes(l4); err != nil {
+			return key, dec, err
+		}
+		dec.HasUDP = true
+		key.SrcPort, key.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return key, dec, nil
+}
+
+// Frame serializes a complete Ethernet/IPv4/{TCP,UDP} frame for the given
+// flow key carrying payloadLen bytes of zero payload, appending to buf.
+// seq sets the TCP sequence number (ignored for UDP). The total wire
+// length is EthernetHeaderLen + 20 + (20 or 8) + payloadLen.
+func Frame(buf []byte, key flow.Key, payloadLen int, seq uint32) ([]byte, error) {
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("layers: negative payload length %d", payloadLen)
+	}
+	var l4HeaderLen int
+	switch key.Proto {
+	case flow.ProtoTCP:
+		l4HeaderLen = TCPMinHeaderLen
+	case flow.ProtoUDP:
+		l4HeaderLen = UDPHeaderLen
+	default:
+		return nil, fmt.Errorf("layers: cannot build frame for protocol %v", key.Proto)
+	}
+	eth := Ethernet{
+		DstMAC:    [6]byte{0x02, 0, 0, key.Dst[1], key.Dst[2], key.Dst[3]},
+		SrcMAC:    [6]byte{0x02, 0, 0, key.Src[1], key.Src[2], key.Src[3]},
+		EtherType: EtherTypeIPv4,
+	}
+	buf = eth.AppendTo(buf)
+	ip := IPv4{
+		Length:   uint16(IPv4MinHeaderLen + l4HeaderLen + payloadLen),
+		TTL:      64,
+		Protocol: key.Proto,
+		Src:      key.Src,
+		Dst:      key.Dst,
+	}
+	buf = ip.AppendTo(buf)
+	l4Start := len(buf)
+	switch key.Proto {
+	case flow.ProtoTCP:
+		t := TCP{SrcPort: key.SrcPort, DstPort: key.DstPort, Seq: seq, Flags: TCPAck, Window: 65535}
+		buf = t.AppendTo(buf)
+	case flow.ProtoUDP:
+		u := UDP{SrcPort: key.SrcPort, DstPort: key.DstPort, Length: uint16(UDPHeaderLen + payloadLen)}
+		buf = u.AppendTo(buf)
+	}
+	for i := 0; i < payloadLen; i++ {
+		buf = append(buf, 0)
+	}
+	// Fill the L4 checksum over pseudo-header + segment.
+	segment := buf[l4Start:]
+	var csOff int
+	switch key.Proto {
+	case flow.ProtoTCP:
+		csOff = 16
+	case flow.ProtoUDP:
+		csOff = 6
+	}
+	binary.BigEndian.PutUint16(segment[csOff:], 0)
+	cs := L4Checksum(key.Src, key.Dst, key.Proto, segment)
+	if key.Proto == flow.ProtoUDP && cs == 0 {
+		cs = 0xffff // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(segment[csOff:], cs)
+	return buf, nil
+}

@@ -1,0 +1,233 @@
+package layers
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"flowrank/internal/flow"
+)
+
+func testKey() flow.Key {
+	return flow.Key{
+		Src: flow.Addr{10, 1, 2, 3}, Dst: flow.Addr{192, 168, 9, 8},
+		SrcPort: 44321, DstPort: 443, Proto: flow.ProtoTCP,
+	}
+}
+
+func TestFrameParseRoundTrip(t *testing.T) {
+	for _, proto := range []flow.Proto{flow.ProtoTCP, flow.ProtoUDP} {
+		key := testKey()
+		key.Proto = proto
+		frame, err := Frame(nil, key, 100, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p Parser
+		got, dec, err := p.Parse(frame)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if got != key {
+			t.Errorf("%v: key = %v, want %v", proto, got, key)
+		}
+		if !dec.HasEthernet || !dec.HasIPv4 {
+			t.Errorf("%v: decoded = %+v", proto, dec)
+		}
+		if proto == flow.ProtoTCP {
+			if !dec.HasTCP || p.TCP.Seq != 12345 {
+				t.Errorf("TCP decode: %+v seq %d", dec, p.TCP.Seq)
+			}
+		} else if !dec.HasUDP {
+			t.Errorf("UDP decode: %+v", dec)
+		}
+	}
+}
+
+func TestFrameLengths(t *testing.T) {
+	key := testKey()
+	frame, err := Frame(nil, key, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EthernetHeaderLen + IPv4MinHeaderLen + TCPMinHeaderLen + 60
+	if len(frame) != want {
+		t.Errorf("frame length %d, want %d", len(frame), want)
+	}
+	key.Proto = flow.ProtoUDP
+	frame, _ = Frame(nil, key, 60, 0)
+	want = EthernetHeaderLen + IPv4MinHeaderLen + UDPHeaderLen + 60
+	if len(frame) != want {
+		t.Errorf("udp frame length %d, want %d", len(frame), want)
+	}
+}
+
+func TestFrameRejectsUnsupported(t *testing.T) {
+	key := testKey()
+	key.Proto = flow.ProtoICMP
+	if _, err := Frame(nil, key, 10, 0); err == nil {
+		t.Error("ICMP frame should be rejected")
+	}
+	if _, err := Frame(nil, testKey(), -1, 0); err == nil {
+		t.Error("negative payload should be rejected")
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	frame, _ := Frame(nil, testKey(), 20, 0)
+	// Corrupt one byte of the IPv4 header.
+	frame[EthernetHeaderLen+8] ^= 0xff // TTL
+	var p Parser
+	if _, _, err := p.Parse(frame); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestL4ChecksumVerifies(t *testing.T) {
+	// Recomputing the checksum over a received segment (with pseudo
+	// header) must yield zero.
+	key := testKey()
+	frame, _ := Frame(nil, key, 33, 777)
+	segment := frame[EthernetHeaderLen+IPv4MinHeaderLen:]
+	if got := L4Checksum(key.Src, key.Dst, key.Proto, segment); got != 0 {
+		t.Errorf("verification sum = 0x%04x, want 0", got)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("checksum = 0x%04x, want 0x220d", got)
+	}
+	// Odd length handling.
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd checksum = 0x%04x", got)
+	}
+}
+
+func TestTruncatedDecodes(t *testing.T) {
+	var p Parser
+	if _, _, err := p.Parse([]byte{1, 2, 3}); err != ErrTruncated {
+		t.Errorf("tiny frame: %v", err)
+	}
+	frame, _ := Frame(nil, testKey(), 50, 0)
+	if _, _, err := p.Parse(frame[:EthernetHeaderLen+10]); err != ErrTruncated {
+		t.Errorf("truncated IP: %v", err)
+	}
+	var ip IPv4
+	bad := make([]byte, 20)
+	bad[0] = 0x60 // IPv6 version nibble
+	if _, err := ip.DecodeFromBytes(bad); err != ErrNotIPv4 {
+		t.Errorf("v6: %v", err)
+	}
+}
+
+func TestNonIPv4EtherType(t *testing.T) {
+	var e Ethernet
+	e.EtherType = 0x0806 // ARP
+	frame := e.AppendTo(nil)
+	frame = append(frame, make([]byte, 28)...)
+	var p Parser
+	_, dec, err := p.Parse(frame)
+	if err != ErrNotIPv4 {
+		t.Errorf("err = %v, want ErrNotIPv4", err)
+	}
+	if !dec.HasEthernet {
+		t.Error("ethernet should still decode")
+	}
+}
+
+func TestIPv4TotalLengthTruncation(t *testing.T) {
+	// When the captured frame carries padding beyond the IP total length,
+	// the payload must stop at the declared length.
+	key := testKey()
+	key.Proto = flow.ProtoUDP
+	frame, _ := Frame(nil, key, 4, 0)
+	frame = append(frame, 0xde, 0xad) // ethernet padding
+	var p Parser
+	if _, _, err := p.Parse(frame); err != nil {
+		t.Fatalf("padded frame failed: %v", err)
+	}
+	if p.UDP.Length != UDPHeaderLen+4 {
+		t.Errorf("UDP length %d", p.UDP.Length)
+	}
+}
+
+func TestTCPFlagsAndFields(t *testing.T) {
+	raw := make([]byte, 20)
+	binary.BigEndian.PutUint16(raw[0:], 1234)
+	binary.BigEndian.PutUint16(raw[2:], 80)
+	binary.BigEndian.PutUint32(raw[4:], 0xdeadbeef)
+	raw[12] = 5 << 4
+	raw[13] = TCPSyn | TCPAck
+	var tc TCP
+	payload, err := tc.DecodeFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 0 || tc.SrcPort != 1234 || tc.Seq != 0xdeadbeef || tc.Flags != TCPSyn|TCPAck {
+		t.Errorf("decoded %+v payload %d", tc, len(payload))
+	}
+}
+
+func TestParseRandomizedRoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, tcp bool, payloadRaw uint16) bool {
+		key := flow.Key{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: flow.ProtoTCP}
+		if !tcp {
+			key.Proto = flow.ProtoUDP
+		}
+		payload := int(payloadRaw % 1400)
+		frame, err := Frame(nil, key, payload, 42)
+		if err != nil {
+			return false
+		}
+		var p Parser
+		got, _, err := p.Parse(frame)
+		return err == nil && got == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameAppendsToExisting(t *testing.T) {
+	prefix := []byte{9, 9, 9}
+	frame, err := Frame(prefix, testKey(), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame[:3], prefix) {
+		t.Error("Frame must append, not overwrite")
+	}
+	var p Parser
+	if _, _, err := p.Parse(frame[3:]); err != nil {
+		t.Errorf("appended frame corrupt: %v", err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	frame, _ := Frame(nil, testKey(), 500, 0)
+	var p Parser
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+}
+
+func BenchmarkFrame(b *testing.B) {
+	key := testKey()
+	buf := make([]byte, 0, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Frame(buf[:0], key, 500, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package metrics implements the paper's two swapped-pair performance
+// metrics exactly as defined in §5.1 and §7.1, plus auxiliary rank-quality
+// measures (top-k set overlap, Kendall tau) used by the examples.
+//
+// Conventions (matching internal/core and Eq. 1):
+//
+//   - For a pair with distinct original sizes, the pair is misranked iff
+//     sampled(smaller) >= sampled(larger) — sampled ties and the
+//     both-sampled-to-zero outcome count as misranked.
+//   - For a pair with equal original sizes, the pair is misranked unless
+//     both sampled sizes are equal and nonzero.
+//   - The ranking metric counts pairs whose first element is one of the
+//     top-t original flows and whose second element is any other flow;
+//     pairs inside the top-t are counted once. With N flows that is
+//     (2N-t-1)·t/2 pairs.
+//   - The detection metric counts only the t·(N-t) pairs that straddle
+//     the top-t boundary.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+)
+
+// PairCounts carries both §5 and §7 metrics for one measurement bin.
+type PairCounts struct {
+	// Ranking is the number of swapped pairs with first element in the
+	// original top-t (the §5.1 metric).
+	Ranking int64
+	// Detection is the number of swapped pairs straddling the top-t
+	// boundary (the §7.1 metric).
+	Detection int64
+	// Pairs and BoundaryPairs are the corresponding totals
+	// (2N-t-1)·t/2 and t·(N-t), for normalization.
+	Pairs, BoundaryPairs int64
+}
+
+// CountSwapped computes both metrics for one bin.
+//
+// orig must hold every flow of the bin sorted by flowtable.Less (packet
+// count descending, deterministic tiebreak); the first t entries are the
+// original top list. sampled maps flow keys to sampled packet counts;
+// missing keys mean the flow was not sampled at all.
+func CountSwapped(orig []flowtable.Entry, sampled map[flow.Key]int64, t int) PairCounts {
+	n := len(orig)
+	if t > n {
+		t = n
+	}
+	var pc PairCounts
+	if t <= 0 || n < 2 {
+		return pc
+	}
+	nn := int64(n)
+	tt := int64(t)
+	pc.Pairs = (2*nn - tt - 1) * tt / 2
+	pc.BoundaryPairs = tt * (nn - tt)
+	for r := 0; r < t; r++ {
+		a := orig[r]
+		sa := sampled[a.Key]
+		for j := r + 1; j < n; j++ {
+			b := orig[j]
+			sb := sampled[b.Key]
+			var swapped bool
+			if a.Packets == b.Packets {
+				swapped = sa != sb || sa == 0
+			} else {
+				// a is the original larger flow (list is sorted).
+				swapped = sb >= sa
+			}
+			if !swapped {
+				continue
+			}
+			pc.Ranking++
+			if j >= t {
+				pc.Detection++
+			}
+		}
+	}
+	return pc
+}
+
+// CountSwappedCounts is CountSwapped with the sampled counts supplied as a
+// slice aligned with orig (sampled[i] is the sampled size of orig[i]),
+// avoiding map construction on the simulator's hot path.
+func CountSwappedCounts(orig []flowtable.Entry, sampled []int64, t int) PairCounts {
+	n := len(orig)
+	if t > n {
+		t = n
+	}
+	var pc PairCounts
+	if t <= 0 || n < 2 {
+		return pc
+	}
+	nn := int64(n)
+	tt := int64(t)
+	pc.Pairs = (2*nn - tt - 1) * tt / 2
+	pc.BoundaryPairs = tt * (nn - tt)
+	for r := 0; r < t; r++ {
+		a := orig[r]
+		sa := sampled[r]
+		for j := r + 1; j < n; j++ {
+			b := orig[j]
+			sb := sampled[j]
+			var swapped bool
+			if a.Packets == b.Packets {
+				swapped = sa != sb || sa == 0
+			} else {
+				swapped = sb >= sa
+			}
+			if !swapped {
+				continue
+			}
+			pc.Ranking++
+			if j >= t {
+				pc.Detection++
+			}
+		}
+	}
+	return pc
+}
+
+// TopKOverlap returns |top-k(orig) ∩ top-k(sampled)| / k — the fraction of
+// true heavy hitters that survive in the sampled top-k list. orig and
+// sampled must both be sorted by flowtable.Less.
+func TopKOverlap(orig, sampled []flowtable.Entry, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(orig) {
+		k = len(orig)
+	}
+	want := make(map[flow.Key]struct{}, k)
+	for i := 0; i < k; i++ {
+		want[orig[i].Key] = struct{}{}
+	}
+	hits := 0
+	for i := 0; i < k && i < len(sampled); i++ {
+		if _, ok := want[sampled[i].Key]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// KendallTau returns the Kendall rank correlation between the original and
+// sampled packet counts of the given flows, in [-1, 1]. Ties are handled
+// with the tau-b correction. It is an auxiliary diagnostic, not a paper
+// metric.
+func KendallTau(orig []flowtable.Entry, sampled map[flow.Key]int64) float64 {
+	n := len(orig)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant, tiesA, tiesB int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := orig[i].Packets - orig[j].Packets
+			db := sampled[orig[i].Key] - sampled[orig[j].Key]
+			switch {
+			case da == 0 && db == 0:
+				tiesA++
+				tiesB++
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case (da > 0) == (db > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	total := int64(n) * int64(n-1) / 2
+	denomA := float64(total - tiesA)
+	denomB := float64(total - tiesB)
+	if denomA <= 0 || denomB <= 0 {
+		return 0
+	}
+	return float64(concordant-discordant) / math.Sqrt(denomA*denomB)
+}
+
+// RunningStat accumulates mean and standard deviation with Welford's
+// algorithm; it summarizes a metric across simulation runs.
+type RunningStat struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add accumulates one observation.
+func (r *RunningStat) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *RunningStat) N() int64 { return r.n }
+
+// Mean returns the running mean.
+func (r *RunningStat) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance.
+func (r *RunningStat) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *RunningStat) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Merge combines another accumulator into this one (parallel reduction).
+func (r *RunningStat) Merge(o RunningStat) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	nA, nB := float64(r.n), float64(o.n)
+	delta := o.mean - r.mean
+	total := nA + nB
+	r.mean += delta * nB / total
+	r.m2 += o.m2 + delta*delta*nA*nB/total
+	r.n += o.n
+}
+
+// SortEntries sorts entries into the canonical ranking order in place and
+// returns the slice, a convenience for metric callers.
+func SortEntries(entries []flowtable.Entry) []flowtable.Entry {
+	sort.Slice(entries, func(i, j int) bool { return flowtable.Less(entries[i], entries[j]) })
+	return entries
+}

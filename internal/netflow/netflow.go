@@ -1,0 +1,168 @@
+// Package netflow encodes and decodes NetFlow version 5 export datagrams —
+// the flow-record format the routers of the paper's era actually emitted
+// (Cisco NetFlow, §1 and [4]). cmd/flowtop uses it to export ranked flow
+// lists; the decoder exists so round-trips and third-party feeds can be
+// consumed.
+//
+// A v5 datagram is a 24-byte header followed by up to 30 fixed 48-byte
+// records. The sampling interval header field carries the monitor's packet
+// sampling configuration, exactly the quantity this library studies.
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flowrank/internal/flow"
+)
+
+// Format constants.
+const (
+	Version           = 5
+	HeaderLen         = 24
+	RecordLen         = 48
+	MaxRecordsPerPack = 30
+)
+
+// Errors.
+var (
+	ErrBadVersion = errors.New("netflow: not a v5 datagram")
+	ErrTruncated  = errors.New("netflow: truncated datagram")
+)
+
+// Header is the v5 export header.
+type Header struct {
+	Count            int
+	SysUptimeMillis  uint32
+	UnixSecs         uint32
+	UnixNsecs        uint32
+	FlowSequence     uint32
+	EngineType       uint8
+	EngineID         uint8
+	SamplingMode     uint8  // 2 bits
+	SamplingInterval uint16 // 14 bits: 1-in-N
+}
+
+// Record is one v5 flow record.
+type Record struct {
+	Key        flow.Key
+	NextHop    flow.Addr
+	InputSNMP  uint16
+	OutputSNMP uint16
+	Packets    uint32
+	Octets     uint32
+	// FirstMillis and LastMillis are sysuptime timestamps.
+	FirstMillis, LastMillis uint32
+	TCPFlags                uint8
+	TOS                     uint8
+	SrcAS, DstAS            uint16
+	SrcMask, DstMask        uint8
+}
+
+// AppendDatagram serializes one datagram with the given records (at most
+// MaxRecordsPerPack) onto buf.
+func AppendDatagram(buf []byte, hdr Header, records []Record) ([]byte, error) {
+	if len(records) > MaxRecordsPerPack {
+		return nil, fmt.Errorf("netflow: %d records exceed the v5 limit of %d", len(records), MaxRecordsPerPack)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(records)))
+	buf = binary.BigEndian.AppendUint32(buf, hdr.SysUptimeMillis)
+	buf = binary.BigEndian.AppendUint32(buf, hdr.UnixSecs)
+	buf = binary.BigEndian.AppendUint32(buf, hdr.UnixNsecs)
+	buf = binary.BigEndian.AppendUint32(buf, hdr.FlowSequence)
+	buf = append(buf, hdr.EngineType, hdr.EngineID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(hdr.SamplingMode)<<14|hdr.SamplingInterval&0x3fff)
+	for _, r := range records {
+		buf = append(buf, r.Key.Src[:]...)
+		buf = append(buf, r.Key.Dst[:]...)
+		buf = append(buf, r.NextHop[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, r.InputSNMP)
+		buf = binary.BigEndian.AppendUint16(buf, r.OutputSNMP)
+		buf = binary.BigEndian.AppendUint32(buf, r.Packets)
+		buf = binary.BigEndian.AppendUint32(buf, r.Octets)
+		buf = binary.BigEndian.AppendUint32(buf, r.FirstMillis)
+		buf = binary.BigEndian.AppendUint32(buf, r.LastMillis)
+		buf = binary.BigEndian.AppendUint16(buf, r.Key.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, r.Key.DstPort)
+		buf = append(buf, 0, r.TCPFlags, byte(r.Key.Proto), r.TOS)
+		buf = binary.BigEndian.AppendUint16(buf, r.SrcAS)
+		buf = binary.BigEndian.AppendUint16(buf, r.DstAS)
+		buf = append(buf, r.SrcMask, r.DstMask, 0, 0)
+	}
+	return buf, nil
+}
+
+// DecodeDatagram parses one v5 datagram.
+func DecodeDatagram(data []byte) (Header, []Record, error) {
+	if len(data) < HeaderLen {
+		return Header{}, nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != Version {
+		return Header{}, nil, ErrBadVersion
+	}
+	hdr := Header{
+		Count:           int(binary.BigEndian.Uint16(data[2:4])),
+		SysUptimeMillis: binary.BigEndian.Uint32(data[4:8]),
+		UnixSecs:        binary.BigEndian.Uint32(data[8:12]),
+		UnixNsecs:       binary.BigEndian.Uint32(data[12:16]),
+		FlowSequence:    binary.BigEndian.Uint32(data[16:20]),
+		EngineType:      data[20],
+		EngineID:        data[21],
+	}
+	sampling := binary.BigEndian.Uint16(data[22:24])
+	hdr.SamplingMode = uint8(sampling >> 14)
+	hdr.SamplingInterval = sampling & 0x3fff
+	if len(data) < HeaderLen+hdr.Count*RecordLen {
+		return Header{}, nil, ErrTruncated
+	}
+	records := make([]Record, hdr.Count)
+	for i := range records {
+		off := HeaderLen + i*RecordLen
+		raw := data[off : off+RecordLen]
+		r := &records[i]
+		copy(r.Key.Src[:], raw[0:4])
+		copy(r.Key.Dst[:], raw[4:8])
+		copy(r.NextHop[:], raw[8:12])
+		r.InputSNMP = binary.BigEndian.Uint16(raw[12:14])
+		r.OutputSNMP = binary.BigEndian.Uint16(raw[14:16])
+		r.Packets = binary.BigEndian.Uint32(raw[16:20])
+		r.Octets = binary.BigEndian.Uint32(raw[20:24])
+		r.FirstMillis = binary.BigEndian.Uint32(raw[24:28])
+		r.LastMillis = binary.BigEndian.Uint32(raw[28:32])
+		r.Key.SrcPort = binary.BigEndian.Uint16(raw[32:34])
+		r.Key.DstPort = binary.BigEndian.Uint16(raw[34:36])
+		r.TCPFlags = raw[37]
+		r.Key.Proto = flow.Proto(raw[38])
+		r.TOS = raw[39]
+		r.SrcAS = binary.BigEndian.Uint16(raw[40:42])
+		r.DstAS = binary.BigEndian.Uint16(raw[42:44])
+		r.SrcMask = raw[44]
+		r.DstMask = raw[45]
+	}
+	return hdr, records, nil
+}
+
+// Export splits records into datagrams of at most MaxRecordsPerPack,
+// filling sequence numbers, and returns the serialized datagrams. hdr's
+// FlowSequence seeds the running sequence counter.
+func Export(hdr Header, records []Record) ([][]byte, error) {
+	var out [][]byte
+	seq := hdr.FlowSequence
+	for start := 0; start < len(records); start += MaxRecordsPerPack {
+		end := start + MaxRecordsPerPack
+		if end > len(records) {
+			end = len(records)
+		}
+		h := hdr
+		h.FlowSequence = seq
+		buf, err := AppendDatagram(nil, h, records[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf)
+		seq += uint32(end - start)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package netflow
+
+import (
+	"testing"
+
+	"flowrank/internal/flow"
+)
+
+func sampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Key: flow.Key{
+				Src: flow.Addr{10, 0, byte(i >> 8), byte(i)}, Dst: flow.Addr{192, 168, 1, byte(i)},
+				SrcPort: uint16(1024 + i), DstPort: 80, Proto: flow.ProtoTCP,
+			},
+			NextHop:     flow.Addr{10, 255, 255, 1},
+			Packets:     uint32(100 + i),
+			Octets:      uint32((100 + i) * 500),
+			FirstMillis: uint32(i * 10),
+			LastMillis:  uint32(i*10 + 5000),
+			TCPFlags:    0x18,
+			SrcAS:       65000,
+			DstAS:       65001,
+			SrcMask:     24,
+			DstMask:     24,
+		}
+	}
+	return recs
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	hdr := Header{
+		SysUptimeMillis:  123456,
+		UnixSecs:         1100000000,
+		UnixNsecs:        42,
+		FlowSequence:     7,
+		EngineType:       1,
+		EngineID:         2,
+		SamplingMode:     1,
+		SamplingInterval: 100, // 1-in-100 sampling
+	}
+	recs := sampleRecords(5)
+	buf, err := AppendDatagram(nil, hdr, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderLen+5*RecordLen {
+		t.Fatalf("datagram length %d", len(buf))
+	}
+	gotHdr, gotRecs, err := DecodeDatagram(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr.Count != 5 || gotHdr.SamplingInterval != 100 || gotHdr.SamplingMode != 1 {
+		t.Errorf("header = %+v", gotHdr)
+	}
+	if gotHdr.FlowSequence != 7 || gotHdr.UnixSecs != 1100000000 {
+		t.Errorf("header fields lost: %+v", gotHdr)
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, gotRecs[i], recs[i])
+		}
+	}
+}
+
+func TestDatagramLimits(t *testing.T) {
+	if _, err := AppendDatagram(nil, Header{}, sampleRecords(31)); err == nil {
+		t.Error("31 records should exceed the v5 limit")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeDatagram(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	buf, _ := AppendDatagram(nil, Header{}, sampleRecords(2))
+	buf[0] = 0
+	buf[1] = 9
+	if _, _, err := DecodeDatagram(buf); err != ErrBadVersion {
+		t.Errorf("version: %v", err)
+	}
+	good, _ := AppendDatagram(nil, Header{}, sampleRecords(2))
+	if _, _, err := DecodeDatagram(good[:len(good)-4]); err != ErrTruncated {
+		t.Errorf("truncated records: %v", err)
+	}
+}
+
+func TestExportSplitsAndSequences(t *testing.T) {
+	recs := sampleRecords(65)
+	grams, err := Export(Header{FlowSequence: 100}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grams) != 3 {
+		t.Fatalf("%d datagrams, want 3 (30+30+5)", len(grams))
+	}
+	wantSeq := []uint32{100, 130, 160}
+	wantCount := []int{30, 30, 5}
+	total := 0
+	for i, g := range grams {
+		hdr, rs, err := DecodeDatagram(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.FlowSequence != wantSeq[i] {
+			t.Errorf("datagram %d sequence %d, want %d", i, hdr.FlowSequence, wantSeq[i])
+		}
+		if len(rs) != wantCount[i] {
+			t.Errorf("datagram %d has %d records", i, len(rs))
+		}
+		total += len(rs)
+	}
+	if total != 65 {
+		t.Errorf("total records %d", total)
+	}
+}

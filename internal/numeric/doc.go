@@ -1,0 +1,11 @@
+// Package numeric provides the scalar numerical routines the analytical
+// models in internal/core are built on: log-space binomial and Poisson
+// probabilities, regularized incomplete beta and gamma functions, adaptive
+// and fixed-order quadrature, root finding, and compensated summation.
+//
+// Everything here is deterministic, allocation-free on the hot paths, and
+// implemented with the standard library only. The routines favour numerical
+// robustness over raw speed: probabilities are computed in log space and
+// tail sums use the complementary form whenever the direct form would lose
+// precision.
+package numeric

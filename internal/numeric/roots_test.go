@@ -1,0 +1,77 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBrentSimpleRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	got, err := Brent(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %.15g, want sqrt(2)", got)
+	}
+}
+
+func TestBrentEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	got, err := Brent(f, 1, 5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("root = %g, want 1", got)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Brent(f, -1, 1, 1e-12); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentSteepFunction(t *testing.T) {
+	// erfc-style misranking probability equations are steep in log(p);
+	// verify Brent handles an exponential-scale crossing.
+	target := 1e-3
+	f := func(lp float64) float64 {
+		p := math.Exp(lp)
+		return 0.5*math.Erfc(10*math.Sqrt(p/(1-p))) - target
+	}
+	lp, err := Brent(f, math.Log(1e-9), math.Log(0.999), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f(lp); math.Abs(v) > 1e-9 {
+		t.Errorf("residual at root = %g", v)
+	}
+}
+
+func TestBrentAgainstBisect(t *testing.T) {
+	f := func(seed uint16) bool {
+		// Random cubic with a root in [0, 10].
+		r := float64(seed%1000)/100 + 0.001
+		g := func(x float64) float64 { return (x - r) * (x*x + 1) }
+		xb, err1 := Brent(g, -1, 11, 1e-12)
+		xs, err2 := Bisect(g, -1, 11, 1e-12)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(xb, r, 1e-9) && almostEqual(xs, r, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1.0 }
+	if _, err := Bisect(f, 0, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}

@@ -1,0 +1,234 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"flowrank/internal/flow"
+)
+
+// Trace format identification.
+var (
+	packetMagic = [5]byte{'F', 'P', 'K', 'T', 1}
+	flowMagic   = [5]byte{'F', 'F', 'L', 'W', 1}
+)
+
+// ErrBadMagic is returned when a trace stream does not start with the
+// expected format marker.
+var ErrBadMagic = errors.New("packet: not a flowrank trace (bad magic)")
+
+const nanosPerSecond = 1e9
+
+func secondsToNanos(s float64) int64 { return int64(math.Round(s * nanosPerSecond)) }
+
+func nanosToSeconds(n int64) float64 { return float64(n) / nanosPerSecond }
+
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendKey(buf []byte, k flow.Key) []byte {
+	buf = append(buf, k.Src[:]...)
+	buf = append(buf, k.Dst[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, k.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, k.DstPort)
+	return append(buf, byte(k.Proto))
+}
+
+func readKey(r *bufio.Reader) (flow.Key, error) {
+	var raw [13]byte
+	if _, err := io.ReadFull(r, raw[:]); err != nil {
+		return flow.Key{}, err
+	}
+	var k flow.Key
+	copy(k.Src[:], raw[0:4])
+	copy(k.Dst[:], raw[4:8])
+	k.SrcPort = binary.BigEndian.Uint16(raw[8:10])
+	k.DstPort = binary.BigEndian.Uint16(raw[10:12])
+	k.Proto = flow.Proto(raw[12])
+	return k, nil
+}
+
+// Writer encodes a packet trace. Call Flush before closing the underlying
+// writer.
+type Writer struct {
+	w        *bufio.Writer
+	lastNano int64
+	buf      []byte
+	started  bool
+}
+
+// NewWriter creates a packet-trace writer and emits the format header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(packetMagic[:]); err != nil {
+		return nil, fmt.Errorf("packet: writing header: %w", err)
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 32)}, nil
+}
+
+// Write appends one packet to the trace.
+func (w *Writer) Write(p Packet) error {
+	nano := secondsToNanos(p.Time)
+	delta := nano - w.lastNano
+	w.lastNano = nano
+	w.started = true
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, zigzag(delta))
+	w.buf = appendKey(w.buf, p.Key)
+	w.buf = binary.AppendUvarint(w.buf, uint64(p.Size))
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("packet: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a packet trace written by Writer.
+type Reader struct {
+	r        *bufio.Reader
+	lastNano int64
+}
+
+// NewReader validates the header and returns a reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: reading header: %w", err)
+	}
+	if hdr != packetMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next packet, or io.EOF at end of trace.
+func (r *Reader) Next() (Packet, error) {
+	deltaRaw, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("packet: reading timestamp: %w", err)
+	}
+	r.lastNano += unzigzag(deltaRaw)
+	key, err := readKey(r.r)
+	if err != nil {
+		return Packet{}, fmt.Errorf("packet: reading key: %w", truncated(err))
+	}
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Packet{}, fmt.Errorf("packet: reading size: %w", truncated(err))
+	}
+	return Packet{Time: nanosToSeconds(r.lastNano), Key: key, Size: int(size)}, nil
+}
+
+// truncated converts a bare EOF in mid-record into ErrUnexpectedEOF so
+// callers can distinguish clean end-of-trace from corruption.
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// FlowWriter encodes a flow-level trace of flow.Records.
+type FlowWriter struct {
+	w        *bufio.Writer
+	lastNano int64
+	buf      []byte
+}
+
+// NewFlowWriter creates a flow-trace writer and emits the format header.
+func NewFlowWriter(w io.Writer) (*FlowWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(flowMagic[:]); err != nil {
+		return nil, fmt.Errorf("packet: writing flow header: %w", err)
+	}
+	return &FlowWriter{w: bw, buf: make([]byte, 0, 48)}, nil
+}
+
+// Write appends one flow record.
+func (w *FlowWriter) Write(rec flow.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	start := secondsToNanos(rec.Start)
+	delta := start - w.lastNano
+	w.lastNano = start
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, zigzag(delta))
+	w.buf = binary.AppendUvarint(w.buf, uint64(secondsToNanos(rec.Duration)))
+	w.buf = binary.AppendUvarint(w.buf, uint64(rec.Packets))
+	w.buf = binary.AppendUvarint(w.buf, uint64(rec.Bytes))
+	w.buf = appendKey(w.buf, rec.Key)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("packet: writing flow record: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered output.
+func (w *FlowWriter) Flush() error { return w.w.Flush() }
+
+// FlowReader decodes a flow-level trace written by FlowWriter.
+type FlowReader struct {
+	r        *bufio.Reader
+	lastNano int64
+}
+
+// NewFlowReader validates the header and returns a reader.
+func NewFlowReader(r io.Reader) (*FlowReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: reading flow header: %w", err)
+	}
+	if hdr != flowMagic {
+		return nil, ErrBadMagic
+	}
+	return &FlowReader{r: br}, nil
+}
+
+// Next returns the next flow record, or io.EOF at end of trace.
+func (r *FlowReader) Next() (flow.Record, error) {
+	deltaRaw, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return flow.Record{}, io.EOF
+		}
+		return flow.Record{}, fmt.Errorf("packet: reading flow start: %w", err)
+	}
+	r.lastNano += unzigzag(deltaRaw)
+	durRaw, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("packet: reading duration: %w", truncated(err))
+	}
+	pkts, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("packet: reading packet count: %w", truncated(err))
+	}
+	bytes, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("packet: reading byte count: %w", truncated(err))
+	}
+	key, err := readKey(r.r)
+	if err != nil {
+		return flow.Record{}, fmt.Errorf("packet: reading key: %w", truncated(err))
+	}
+	return flow.Record{
+		Key:      key,
+		Start:    nanosToSeconds(r.lastNano),
+		Duration: nanosToSeconds(int64(durRaw)),
+		Packets:  int(pkts),
+		Bytes:    int64(bytes),
+	}, nil
+}

@@ -1,0 +1,270 @@
+package packet
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/randx"
+)
+
+func samplePackets(n int, seed uint64) []Packet {
+	g := randx.New(seed)
+	pkts := make([]Packet, n)
+	t := 0.0
+	for i := range pkts {
+		t += g.Exponential(0.001)
+		pkts[i] = Packet{
+			Time: t,
+			Key: flow.Key{
+				Src:     flow.Addr{byte(g.IntN(256)), byte(g.IntN(256)), byte(g.IntN(256)), byte(g.IntN(256))},
+				Dst:     flow.Addr{10, 0, byte(g.IntN(256)), byte(g.IntN(256))},
+				SrcPort: uint16(g.IntN(65536)),
+				DstPort: uint16(g.IntN(65536)),
+				Proto:   flow.ProtoTCP,
+			},
+			Size: 40 + g.IntN(1460),
+		}
+	}
+	return pkts
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	pkts := samplePackets(5000, 1)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Key != want.Key || got.Size != want.Size {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+		if math.Abs(got.Time-want.Time) > 1e-9 {
+			t.Fatalf("record %d: time %g vs %g", i, got.Time, want.Time)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestPacketOutOfOrderTimestamps(t *testing.T) {
+	// Delta encoding is zig-zag so reordered timestamps survive.
+	pkts := []Packet{{Time: 5}, {Time: 2}, {Time: 9}, {Time: 0}}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Time-want.Time) > 1e-9 {
+			t.Errorf("record %d: time %g, want %g", i, got.Time, want.Time)
+		}
+	}
+}
+
+func TestPacketBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestPacketTruncatedStream(t *testing.T) {
+	pkts := samplePackets(10, 2)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, p := range pkts {
+		w.Write(p)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	// Cut in the middle of a record (not at a record boundary).
+	cut := full[:len(full)-7]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, err := r.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == io.EOF {
+		t.Error("truncation should not look like clean EOF")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty trace: err = %v, want EOF", err)
+	}
+}
+
+func sampleFlows(n int, seed uint64) []flow.Record {
+	g := randx.New(seed)
+	recs := make([]flow.Record, n)
+	t := 0.0
+	for i := range recs {
+		t += g.Exponential(0.01)
+		pkts := 1 + g.IntN(500)
+		recs[i] = flow.Record{
+			Key: flow.Key{
+				Src:     flow.Addr{1, 2, byte(i >> 8), byte(i)},
+				Dst:     flow.Addr{9, 9, byte(g.IntN(256)), byte(g.IntN(256))},
+				SrcPort: uint16(1024 + g.IntN(60000)),
+				DstPort: 80,
+				Proto:   flow.ProtoTCP,
+			},
+			Start:    t,
+			Duration: g.Exponential(13),
+			Packets:  pkts,
+			Bytes:    int64(pkts) * 500,
+		}
+	}
+	return recs
+}
+
+func TestFlowRoundTrip(t *testing.T) {
+	recs := sampleFlows(3000, 3)
+	var buf bytes.Buffer
+	w, err := NewFlowWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	r, err := NewFlowReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Key != want.Key || got.Packets != want.Packets || got.Bytes != want.Bytes {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got, want)
+		}
+		if math.Abs(got.Start-want.Start) > 1e-9 || math.Abs(got.Duration-want.Duration) > 1e-9 {
+			t.Fatalf("record %d time mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestFlowWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewFlowWriter(&buf)
+	if err := w.Write(flow.Record{Packets: 0}); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestFlowReaderRejectsPacketTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	if _, err := NewFlowReader(&buf); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByTime(t *testing.T) {
+	a := Packet{Time: 1}
+	b := Packet{Time: 2}
+	if ByTime(a, b) != -1 || ByTime(b, a) != 1 || ByTime(a, a) != 0 {
+		t.Error("ByTime ordering wrong")
+	}
+}
+
+func BenchmarkPacketWrite(b *testing.B) {
+	pkts := samplePackets(1000, 9)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		w, _ := NewWriter(&buf)
+		for _, p := range pkts {
+			w.Write(p)
+		}
+		w.Flush()
+	}
+	b.SetBytes(int64(len(pkts)))
+}
+
+func BenchmarkPacketRead(b *testing.B) {
+	pkts := samplePackets(1000, 9)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, p := range pkts {
+		w.Write(p)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := NewReader(bytes.NewReader(data))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+	b.SetBytes(int64(len(pkts)))
+}

@@ -1,0 +1,180 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (the 24-byte global header with magic 0xa1b2c3d4), the lingua franca of
+// packet tooling. The reader accepts both byte orders and both microsecond
+// and nanosecond timestamp magics; the writer emits little-endian
+// microsecond captures with the Ethernet link type.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Link types.
+const (
+	LinkTypeEthernet = 1
+)
+
+const (
+	magicMicroseconds = 0xa1b2c3d4
+	magicNanoseconds  = 0xa1b23c4d
+	versionMajor      = 2
+	versionMinor      = 4
+	globalHeaderLen   = 24
+	packetHeaderLen   = 16
+)
+
+// ErrNotPcap is returned when the stream does not begin with a known pcap
+// magic number.
+var ErrNotPcap = errors.New("pcap: unrecognized magic number")
+
+// Header describes a capture file.
+type Header struct {
+	SnapLen  uint32
+	LinkType uint32
+	// Nanos is true when per-packet timestamps carry nanoseconds.
+	Nanos bool
+}
+
+// Packet is one captured record.
+type Packet struct {
+	// Time is seconds since the capture epoch.
+	Time float64
+	// Data is the captured bytes (up to SnapLen).
+	Data []byte
+	// OrigLen is the original wire length.
+	OrigLen int
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	hdr     [packetHeaderLen]byte
+}
+
+// NewWriter writes the global header for an Ethernet capture.
+func NewWriter(w io.Writer, snapLen uint32) (*Writer, error) {
+	if snapLen == 0 {
+		snapLen = 65535
+	}
+	var hdr [globalHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone (8:12) and sigfigs (12:16) stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing global header: %w", err)
+	}
+	return &Writer{w: w, snapLen: snapLen}, nil
+}
+
+// Write emits one packet record, truncating data at the snap length.
+func (w *Writer) Write(p Packet) error {
+	data := p.Data
+	if uint32(len(data)) > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	origLen := p.OrigLen
+	if origLen < len(p.Data) {
+		origLen = len(p.Data)
+	}
+	sec := uint32(p.Time)
+	usec := uint32((p.Time - float64(sec)) * 1e6)
+	binary.LittleEndian.PutUint32(w.hdr[0:], sec)
+	binary.LittleEndian.PutUint32(w.hdr[4:], usec)
+	binary.LittleEndian.PutUint32(w.hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(w.hdr[12:], uint32(origLen))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return fmt.Errorf("pcap: writing packet header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: writing packet data: %w", err)
+	}
+	return nil
+}
+
+// Reader parses a pcap stream.
+type Reader struct {
+	r      io.Reader
+	order  binary.ByteOrder
+	header Header
+	buf    []byte
+}
+
+// NewReader parses the global header, auto-detecting byte order and
+// timestamp resolution.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [globalHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	var order binary.ByteOrder
+	var nanos bool
+	switch {
+	case magicLE == magicMicroseconds:
+		order = binary.LittleEndian
+	case magicLE == magicNanoseconds:
+		order, nanos = binary.LittleEndian, true
+	case magicBE == magicMicroseconds:
+		order = binary.BigEndian
+	case magicBE == magicNanoseconds:
+		order, nanos = binary.BigEndian, true
+	default:
+		return nil, ErrNotPcap
+	}
+	return &Reader{
+		r:     r,
+		order: order,
+		header: Header{
+			SnapLen:  order.Uint32(hdr[16:20]),
+			LinkType: order.Uint32(hdr[20:24]),
+			Nanos:    nanos,
+		},
+	}, nil
+}
+
+// Header returns the capture description.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next packet, or io.EOF at a clean end of capture. The
+// returned Data is only valid until the following Next call.
+func (r *Reader) Next() (Packet, error) {
+	var hdr [packetHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcap: reading packet header: %w", err)
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	frac := r.order.Uint32(hdr[4:8])
+	inclLen := r.order.Uint32(hdr[8:12])
+	origLen := r.order.Uint32(hdr[12:16])
+	if inclLen > r.header.SnapLen && r.header.SnapLen > 0 {
+		return Packet{}, fmt.Errorf("pcap: record length %d exceeds snap length %d", inclLen, r.header.SnapLen)
+	}
+	if cap(r.buf) < int(inclLen) {
+		r.buf = make([]byte, inclLen)
+	}
+	r.buf = r.buf[:inclLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Packet{}, fmt.Errorf("pcap: reading packet data: %w", err)
+	}
+	t := float64(sec)
+	if r.header.Nanos {
+		t += float64(frac) / 1e9
+	} else {
+		t += float64(frac) / 1e6
+	}
+	return Packet{Time: t, Data: r.buf, OrigLen: int(origLen)}, nil
+}

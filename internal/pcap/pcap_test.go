@@ -1,0 +1,166 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/layers"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := flow.Key{
+		Src: flow.Addr{10, 0, 0, 1}, Dst: flow.Addr{10, 0, 0, 2},
+		SrcPort: 1234, DstPort: 80, Proto: flow.ProtoTCP,
+	}
+	var frames [][]byte
+	for i := 0; i < 50; i++ {
+		frame, err := layers.Frame(nil, key, 10+i, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+		if err := w.Write(Packet{Time: float64(i) * 0.25, Data: frame}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().LinkType != LinkTypeEthernet {
+		t.Errorf("link type %d", r.Header().LinkType)
+	}
+	if r.Header().Nanos {
+		t.Error("writer emits microsecond captures")
+	}
+	for i, want := range frames {
+		p, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(p.Data, want) {
+			t.Fatalf("packet %d data mismatch", i)
+		}
+		if math.Abs(p.Time-float64(i)*0.25) > 2e-6 {
+			t.Fatalf("packet %d time %g", i, p.Time)
+		}
+		if p.OrigLen != len(want) {
+			t.Fatalf("packet %d origlen %d", i, p.OrigLen)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := w.Write(Packet{Time: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 60 {
+		t.Errorf("captured %d bytes, want 60", len(p.Data))
+	}
+	if p.OrigLen != 500 {
+		t.Errorf("origlen %d, want 500", p.OrigLen)
+	}
+}
+
+func TestReaderBigEndianAndNanos(t *testing.T) {
+	// Hand-build a big-endian nanosecond capture with one 4-byte packet.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:], 0xa1b23c4d)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:], 100)       // sec
+	binary.BigEndian.PutUint32(rec[4:], 500000000) // nsec
+	binary.BigEndian.PutUint32(rec[8:], 4)
+	binary.BigEndian.PutUint32(rec[12:], 4)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Header().Nanos {
+		t.Error("nanosecond magic not detected")
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Time-100.5) > 1e-9 {
+		t.Errorf("time %g, want 100.5", p.Time)
+	}
+}
+
+func TestNotPcap(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrNotPcap {
+		t.Errorf("err = %v, want ErrNotPcap", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestTruncatedPacketData(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Write(Packet{Time: 1, Data: []byte{1, 2, 3, 4, 5}})
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated data should error")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 100)
+	w.Write(Packet{Time: 1, Data: []byte{1}})
+	raw := buf.Bytes()
+	// Corrupt incl_len to exceed snaplen.
+	binary.LittleEndian.PutUint32(raw[24+8:], 1000)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("oversize record accepted")
+	}
+}

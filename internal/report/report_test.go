@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:      "fig99",
+		Title:   "sample",
+		Columns: []string{"p(%)", "t=1", "t=25"},
+		Notes:   []string{"synthetic"},
+	}
+	t.AddRow(0.1, 1234.5678, 0.00001234)
+	t.AddRow("50", 42, int64(7))
+	return t
+}
+
+func TestFprintAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig99") || !strings.Contains(out, "note: synthetic") {
+		t.Errorf("output missing pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and all data lines share the same width.
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	hdr := lines[1]
+	for _, l := range lines[2:4] {
+		if len(l) != len(hdr) {
+			t.Errorf("misaligned line %q vs header %q", l, hdr)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1234.5678, "1234.6"},
+		{0.25, "0.25"},
+		{1e7, "1.000e+07"},
+		{3e-9, "3.000e-09"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d csv lines", len(lines))
+	}
+	if lines[0] != "p(%),t=1,t=25" {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	path, err := sampleTable().SaveCSV(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "p(%)") {
+		t.Errorf("file content %q", string(data)[:20])
+	}
+	if filepath.Base(path) != "fig99.csv" {
+		t.Errorf("path %q", path)
+	}
+}

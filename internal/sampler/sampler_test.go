@@ -1,0 +1,184 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/packet"
+)
+
+func mkPacket(i int) packet.Packet {
+	return packet.Packet{
+		Time: float64(i) * 1e-4,
+		Key: flow.Key{
+			Src: flow.Addr{10, 0, byte(i >> 8), byte(i)}, Dst: flow.Addr{10, 1, 1, 1},
+			SrcPort: uint16(i), DstPort: 80, Proto: flow.ProtoTCP,
+		},
+		Size: 500,
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.5} {
+		s := NewBernoulli(p, 42)
+		const n = 500000
+		kept := 0
+		for i := 0; i < n; i++ {
+			if s.Sample(mkPacket(i)) {
+				kept++
+			}
+		}
+		got := float64(kept) / n
+		se := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 6*se {
+			t.Errorf("rate %g: kept %g", p, got)
+		}
+		if s.Rate() != p {
+			t.Errorf("Rate() = %g", s.Rate())
+		}
+	}
+}
+
+func TestBernoulliRunsIndependentAndReproducible(t *testing.T) {
+	s1 := NewBernoulli(0.3, 7)
+	s2 := NewBernoulli(0.3, 7)
+	s1.Reset(5)
+	s2.Reset(5)
+	for i := 0; i < 1000; i++ {
+		p := mkPacket(i)
+		if s1.Sample(p) != s2.Sample(p) {
+			t.Fatal("same seed+run must give identical decisions")
+		}
+	}
+	s2.Reset(6)
+	same := 0
+	s1.Reset(5)
+	for i := 0; i < 1000; i++ {
+		p := mkPacket(i)
+		if s1.Sample(p) == s2.Sample(p) {
+			same++
+		}
+	}
+	// Independent runs agree on ~(p^2 + q^2) of decisions, not all.
+	if same > 900 {
+		t.Errorf("different runs agreed on %d/1000 decisions", same)
+	}
+}
+
+func TestBernoulliRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p > 1")
+		}
+	}()
+	NewBernoulli(1.5, 1)
+}
+
+func TestBernoulliEdgeRates(t *testing.T) {
+	s0 := NewBernoulli(0, 1)
+	s1 := NewBernoulli(1, 1)
+	for i := 0; i < 100; i++ {
+		if s0.Sample(mkPacket(i)) {
+			t.Fatal("p=0 sampled a packet")
+		}
+		if !s1.Sample(mkPacket(i)) {
+			t.Fatal("p=1 dropped a packet")
+		}
+	}
+}
+
+func TestPeriodicExactCount(t *testing.T) {
+	s := NewPeriodic(100, 3)
+	const n = 100000
+	kept := 0
+	for i := 0; i < n; i++ {
+		if s.Sample(mkPacket(i)) {
+			kept++
+		}
+	}
+	if kept != n/100 {
+		t.Errorf("kept %d of %d with 1-in-100", kept, n)
+	}
+	if s.Rate() != 0.01 {
+		t.Errorf("Rate() = %g", s.Rate())
+	}
+}
+
+func TestPeriodicPhaseVariesAcrossRuns(t *testing.T) {
+	s := NewPeriodic(10, 9)
+	firstKept := func() int {
+		for i := 0; ; i++ {
+			if s.Sample(mkPacket(i)) {
+				return i
+			}
+		}
+	}
+	phases := map[int]bool{}
+	for run := uint64(0); run < 20; run++ {
+		s.Reset(run)
+		phases[firstKept()] = true
+	}
+	if len(phases) < 3 {
+		t.Errorf("only %d distinct phases over 20 runs", len(phases))
+	}
+}
+
+func TestSampleAndHoldHolds(t *testing.T) {
+	s := NewSampleAndHold(0.05, flow.FiveTuple{}, 11)
+	// One flow sending many packets: once sampled, all others kept.
+	p := mkPacket(1)
+	kept := 0
+	total := 2000
+	firstKeptAt := -1
+	for i := 0; i < total; i++ {
+		if s.Sample(p) {
+			kept++
+			if firstKeptAt < 0 {
+				firstKeptAt = i
+			}
+		} else if firstKeptAt >= 0 {
+			t.Fatalf("packet dropped at %d after the flow was held at %d", i, firstKeptAt)
+		}
+	}
+	if firstKeptAt < 0 {
+		t.Fatal("flow never sampled at p=0.05 over 2000 packets (prob ~e-100)")
+	}
+	if kept != total-firstKeptAt {
+		t.Errorf("kept %d, want %d", kept, total-firstKeptAt)
+	}
+	if s.HeldFlows() != 1 {
+		t.Errorf("held %d flows, want 1", s.HeldFlows())
+	}
+	s.Reset(1)
+	if s.HeldFlows() != 0 {
+		t.Error("Reset must clear held flows")
+	}
+}
+
+func TestSampleAndHoldAggregation(t *testing.T) {
+	s := NewSampleAndHold(1, flow.DstPrefix{Bits: 24}, 12)
+	a := mkPacket(1)
+	b := mkPacket(2)
+	b.Key.Dst = a.Key.Dst // same /24
+	s.Sample(a)
+	if s.HeldFlows() != 1 {
+		t.Fatalf("held %d", s.HeldFlows())
+	}
+	s.Sample(b)
+	if s.HeldFlows() != 1 {
+		t.Errorf("same /24 should share one held slot, got %d", s.HeldFlows())
+	}
+}
+
+func TestSamplerStrings(t *testing.T) {
+	if NewBernoulli(0.25, 1).String() != "bernoulli(p=0.25)" {
+		t.Error("bernoulli label")
+	}
+	if NewPeriodic(8, 1).String() != "periodic(1-in-8)" {
+		t.Error("periodic label")
+	}
+	if NewSampleAndHold(0.1, flow.FiveTuple{}, 1).String() != "sample-and-hold(p=0.1)" {
+		t.Error("sample-and-hold label")
+	}
+}

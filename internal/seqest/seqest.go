@@ -1,0 +1,119 @@
+// Package seqest implements the paper's second future-work direction
+// (§9): refining sampled flow-size estimates with protocol information —
+// here, TCP sequence numbers. The byte span between the smallest and
+// largest sequence numbers seen among a flow's *sampled* packets bounds
+// the bytes the flow transferred between those packets, with far less
+// variance than scaling the sampled byte count by 1/p.
+//
+// The estimator handles 32-bit sequence wraparound for spans below 2^31
+// and falls back to count scaling for flows with fewer than two sampled
+// packets (where the span estimator is undefined).
+package seqest
+
+import (
+	"flowrank/internal/flow"
+)
+
+// state tracks one flow's observed spans.
+type state struct {
+	initialized  bool
+	firstSeq     uint32 // sequence of the earliest sampled packet
+	lastSeq      uint32 // sequence of the latest sampled packet (start)
+	lastLen      int    // payload length of that packet
+	sampledPkts  int64
+	sampledBytes int64
+}
+
+// Estimator accumulates sampled TCP packets and produces flow byte-size
+// estimates. It is not safe for concurrent use.
+type Estimator struct {
+	// Rate is the packet sampling probability, used by the count-scaling
+	// fallback and the head/tail correction.
+	Rate  float64
+	flows map[flow.Key]*state
+}
+
+// New returns an estimator for traffic sampled at rate p.
+func New(p float64) *Estimator {
+	return &Estimator{Rate: p, flows: make(map[flow.Key]*state)}
+}
+
+// Observe records one sampled TCP packet: its flow, sequence number and
+// payload byte count.
+func (e *Estimator) Observe(key flow.Key, seq uint32, payloadLen int) {
+	st, ok := e.flows[key]
+	if !ok {
+		st = &state{}
+		e.flows[key] = st
+	}
+	if !st.initialized {
+		st.initialized = true
+		st.firstSeq = seq
+		st.lastSeq = seq
+		st.lastLen = payloadLen
+	} else {
+		// seqAfter says whether a is beyond b in mod-2^32 arithmetic.
+		if seqAfter(seq, st.lastSeq) {
+			st.lastSeq = seq
+			st.lastLen = payloadLen
+		}
+		if seqAfter(st.firstSeq, seq) {
+			st.firstSeq = seq
+		}
+	}
+	st.sampledPkts++
+	st.sampledBytes += int64(payloadLen)
+}
+
+// seqAfter reports whether sequence a comes after b, tolerating one
+// wraparound (valid for spans under 2^31).
+func seqAfter(a, b uint32) bool {
+	return int32(a-b) > 0
+}
+
+// Flows returns the number of flows with at least one sampled packet.
+func (e *Estimator) Flows() int { return len(e.flows) }
+
+// EstimateBytes returns the estimated total byte size of the flow.
+//
+// With two or more sampled packets the estimate is the sequence span
+// (last-first plus the last packet's payload) corrected for the expected
+// unsampled head and tail: the span covers on average a fraction
+// (k-1)/(k+1) of the flow when k packets are sampled uniformly, so the
+// span is scaled by (k+1)/(k-1). With fewer than two packets it falls
+// back to sampledBytes/Rate.
+func (e *Estimator) EstimateBytes(key flow.Key) (float64, bool) {
+	st, ok := e.flows[key]
+	if !ok {
+		return 0, false
+	}
+	if st.sampledPkts < 2 {
+		if e.Rate <= 0 {
+			return 0, false
+		}
+		return float64(st.sampledBytes) / e.Rate, true
+	}
+	span := float64(st.lastSeq-st.firstSeq) + float64(st.lastLen)
+	k := float64(st.sampledPkts)
+	return span * (k + 1) / (k - 1), true
+}
+
+// CountScaledBytes returns the plain 1/p scaling estimate for comparison.
+func (e *Estimator) CountScaledBytes(key flow.Key) (float64, bool) {
+	st, ok := e.flows[key]
+	if !ok || e.Rate <= 0 {
+		return 0, false
+	}
+	return float64(st.sampledBytes) / e.Rate, true
+}
+
+// SampledPackets returns the number of sampled packets for a flow.
+func (e *Estimator) SampledPackets(key flow.Key) int64 {
+	if st, ok := e.flows[key]; ok {
+		return st.sampledPkts
+	}
+	return 0
+}
+
+// Reset clears all per-flow state.
+func (e *Estimator) Reset() { clear(e.flows) }

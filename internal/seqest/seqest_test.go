@@ -1,0 +1,142 @@
+package seqest
+
+import (
+	"math"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/randx"
+)
+
+func k(i int) flow.Key {
+	return flow.Key{Src: flow.Addr{10, 0, 0, byte(i)}, Proto: flow.ProtoTCP}
+}
+
+// simulateFlow feeds the sampled packets of a synthetic TCP flow with
+// totalPkts packets of mss bytes starting at sequence start, sampled at
+// rate p, and returns the true byte size.
+func simulateFlow(e *Estimator, g *randx.RNG, key flow.Key, totalPkts, mss int, start uint32, p float64) int64 {
+	seq := start
+	for i := 0; i < totalPkts; i++ {
+		if g.Bernoulli(p) {
+			e.Observe(key, seq, mss)
+		}
+		seq += uint32(mss)
+	}
+	return int64(totalPkts) * int64(mss)
+}
+
+func TestSpanEstimatorBeatsCountScaling(t *testing.T) {
+	g := randx.New(1)
+	p := 0.05
+	const trials = 300
+	var seSpan, seCount float64
+	used := 0
+	for trial := 0; trial < trials; trial++ {
+		e := New(p)
+		key := k(1)
+		trueBytes := simulateFlow(e, g, key, 2000, 1460, uint32(trial)*7919, p)
+		est, ok := e.EstimateBytes(key)
+		if !ok {
+			continue
+		}
+		if e.SampledPackets(key) < 2 {
+			continue
+		}
+		cnt, _ := e.CountScaledBytes(key)
+		seSpan += (est - float64(trueBytes)) * (est - float64(trueBytes))
+		seCount += (cnt - float64(trueBytes)) * (cnt - float64(trueBytes))
+		used++
+	}
+	if used < trials/2 {
+		t.Fatalf("only %d usable trials", used)
+	}
+	rmseSpan := math.Sqrt(seSpan / float64(used))
+	rmseCount := math.Sqrt(seCount / float64(used))
+	// The whole point of the refinement: an order of magnitude less error.
+	if rmseSpan > rmseCount/3 {
+		t.Errorf("span RMSE %g not clearly better than count RMSE %g", rmseSpan, rmseCount)
+	}
+}
+
+func TestSpanEstimateNearTruth(t *testing.T) {
+	g := randx.New(2)
+	e := New(0.1)
+	key := k(2)
+	trueBytes := simulateFlow(e, g, key, 10000, 1000, 0, 0.1)
+	est, ok := e.EstimateBytes(key)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(est-float64(trueBytes)) > 0.05*float64(trueBytes) {
+		t.Errorf("estimate %g vs true %d", est, trueBytes)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	g := randx.New(3)
+	e := New(0.5)
+	key := k(3)
+	// Start near the top of the sequence space so it wraps mid-flow.
+	start := uint32(math.MaxUint32 - 500000)
+	trueBytes := simulateFlow(e, g, key, 1000, 1460, start, 0.5)
+	est, ok := e.EstimateBytes(key)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(est-float64(trueBytes)) > 0.05*float64(trueBytes) {
+		t.Errorf("wraparound estimate %g vs true %d", est, trueBytes)
+	}
+}
+
+func TestSinglePacketFallsBack(t *testing.T) {
+	e := New(0.01)
+	key := k(4)
+	e.Observe(key, 1000, 500)
+	est, ok := e.EstimateBytes(key)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if est != 500/0.01 {
+		t.Errorf("fallback estimate %g, want %g", est, 500/0.01)
+	}
+}
+
+func TestUnknownFlow(t *testing.T) {
+	e := New(0.1)
+	if _, ok := e.EstimateBytes(k(9)); ok {
+		t.Error("unknown flow should not estimate")
+	}
+	if _, ok := e.CountScaledBytes(k(9)); ok {
+		t.Error("unknown flow should not count-scale")
+	}
+	if e.SampledPackets(k(9)) != 0 {
+		t.Error("unknown flow packet count")
+	}
+}
+
+func TestOutOfOrderObservations(t *testing.T) {
+	e := New(1)
+	key := k(5)
+	// Packets observed out of order: 3000, 1000, 2000 with len 100.
+	e.Observe(key, 3000, 100)
+	e.Observe(key, 1000, 100)
+	e.Observe(key, 2000, 100)
+	est, _ := e.EstimateBytes(key)
+	// span = 3000-1000+100 = 2100, k=3 -> 2100 * 4/2 = 4200.
+	if est != 4200 {
+		t.Errorf("estimate %g, want 4200", est)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := New(0.1)
+	e.Observe(k(6), 1, 10)
+	if e.Flows() != 1 {
+		t.Fatal("flow not tracked")
+	}
+	e.Reset()
+	if e.Flows() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
