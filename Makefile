@@ -1,0 +1,32 @@
+# Tier-1 verification and housekeeping for the flowrank module.
+
+GO ?= go
+
+.PHONY: all build test short vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast loop: skips the long Monte-Carlo and paper-scale experiments.
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: vet fmt build test
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

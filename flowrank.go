@@ -111,8 +111,33 @@ type (
 // shape (panics if shape <= 1, where the mean is infinite).
 func ParetoWithMean(mean, shape float64) Pareto { return dist.ParetoWithMean(mean, shape) }
 
+// ExponentialWithMean returns a shifted exponential with minimum size min
+// and overall mean mean (panics if mean <= min).
+func ExponentialWithMean(min, mean float64) Exponential {
+	return dist.ExponentialWithMean(min, mean)
+}
+
 // NewEmpirical builds an empirical distribution from sample values.
 func NewEmpirical(values []float64) *Empirical { return dist.NewEmpirical(values) }
+
+// Mixture is the convex combination of several size laws — multi-class
+// traffic such as an exponential body of mice under a Pareto elephant
+// class. MixtureComponent pairs a law with its traffic share.
+type (
+	Mixture          = dist.Mixture
+	MixtureComponent = dist.Component
+)
+
+// NewMixture builds a mixture of size laws, normalizing the component
+// weights to sum to one.
+func NewMixture(components ...MixtureComponent) (*Mixture, error) {
+	return dist.NewMixture(components...)
+}
+
+// Discretize projects a size law onto the integer packet counts 1..max,
+// returning the pmf in the layout DiscreteModel consumes (the tail beyond
+// max is folded into the last bin).
+func Discretize(d SizeDist, max int) []float64 { return dist.Discretize(d, max) }
 
 // ---------------------------------------------------------------------------
 // Flow identity and traces

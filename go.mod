@@ -1,0 +1,3 @@
+module flowrank
+
+go 1.24

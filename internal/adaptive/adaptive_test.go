@@ -67,6 +67,43 @@ func TestMissProbability(t *testing.T) {
 	}
 }
 
+func TestMissProbabilityAnySizeLaw(t *testing.T) {
+	// The population inversion must accept any SizeDist, not just the
+	// Pareto it fits: cross-check the quantile-space integral against
+	// Monte Carlo for a short-tailed law and a multi-class mixture.
+	mix, err := dist.NewMixture(
+		dist.Component{Weight: 0.9, Dist: dist.ExponentialWithMean(1, 4)},
+		dist.Component{Weight: 0.1, Dist: dist.ParetoWithMean(50, 1.6)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []dist.SizeDist{
+		dist.Lognormal{Min: 1, Mu: 1.2, Sigma: 1.1},
+		mix,
+	} {
+		g := randx.New(8)
+		for _, p := range []float64{0.05, 0.3} {
+			const draws = 200000
+			missed := 0
+			for i := 0; i < draws; i++ {
+				s := int(math.Round(d.Rand(g)))
+				if s < 1 {
+					s = 1
+				}
+				if g.Binomial(s, p) == 0 {
+					missed++
+				}
+			}
+			mc := float64(missed) / draws
+			got := MissProbability(d, p)
+			if math.Abs(got-mc) > 0.03 {
+				t.Errorf("%s p=%g: analytic %g vs MC %g", d, p, got, mc)
+			}
+		}
+	}
+}
+
 func TestEstimatePopulation(t *testing.T) {
 	// Synthesize a sampled bin from a known population and invert it.
 	g := randx.New(3)

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowrank/internal/numeric"
+	"flowrank/internal/randx"
+)
+
+// Empirical is the discrete distribution that puts mass 1/n on each of n
+// observed sample values — the law to use when replaying the flow-size
+// statistics of a measured trace through the analytical models.
+type Empirical struct {
+	// values is the sorted (ascending) sample.
+	values []float64
+	mean   float64
+}
+
+// NewEmpirical builds an empirical distribution from sample values. The
+// input is copied; it panics on an empty sample.
+func NewEmpirical(values []float64) *Empirical {
+	if len(values) == 0 {
+		panic("dist: empirical distribution needs at least one sample value")
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return &Empirical{values: sorted, mean: numeric.SumSlice(sorted) / float64(len(sorted))}
+}
+
+// Len returns the number of sample values.
+func (e *Empirical) Len() int { return len(e.values) }
+
+// CCDF returns the fraction of sample values strictly greater than x.
+func (e *Empirical) CCDF(x float64) float64 {
+	n := len(e.values)
+	idx := sort.Search(n, func(i int) bool { return e.values[i] > x })
+	return float64(n-idx) / float64(n)
+}
+
+// QuantileCCDF returns the generalized inverse of the step CCDF,
+// inf{x : CCDF(x) <= u}, clamped to the sample range: u near 0 returns
+// the sample maximum, u = 1 the minimum.
+func (e *Empirical) QuantileCCDF(u float64) float64 {
+	n := len(e.values)
+	k := int(math.Floor(float64(n)*u)) + 1
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return e.values[n-k]
+}
+
+// Mean returns the sample mean.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Rand draws a uniformly chosen sample value (bootstrap resampling).
+func (e *Empirical) Rand(g *randx.RNG) float64 {
+	return e.values[g.IntN(len(e.values))]
+}
+
+func (e *Empirical) String() string {
+	return fmt.Sprintf("empirical(n=%d, mean=%.4g)", len(e.values), e.mean)
+}

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"flowrank/internal/randx"
+)
+
+// Exponential is a shifted exponential: sizes exceed Min and
+// P{S > x} = exp(-(x-Min)/Scale). It is the paper's light-tailed
+// comparison law (§6.2): with an exponential body the large flows barely
+// separate from the bulk and ranking from samples degrades sharply.
+type Exponential struct {
+	// Min is the minimum flow size the law is shifted to.
+	Min float64
+	// Scale is the mean excess over Min.
+	Scale float64
+}
+
+// ExponentialWithMean returns the shifted exponential with minimum size
+// min and overall mean mean. It panics if mean <= min.
+func ExponentialWithMean(min, mean float64) Exponential {
+	if mean <= min {
+		panic(fmt.Sprintf("dist: exponential mean %g must exceed minimum %g", mean, min))
+	}
+	return Exponential{Min: min, Scale: mean - min}
+}
+
+// CCDF returns P{S > x}.
+func (d Exponential) CCDF(x float64) float64 {
+	if x <= d.Min {
+		return 1
+	}
+	return math.Exp(-(x - d.Min) / d.Scale)
+}
+
+// QuantileCCDF returns the size with upper-tail probability u.
+func (d Exponential) QuantileCCDF(u float64) float64 {
+	if u >= 1 {
+		return d.Min
+	}
+	return d.Min - d.Scale*math.Log(u)
+}
+
+// Mean returns Min + Scale.
+func (d Exponential) Mean() float64 { return d.Min + d.Scale }
+
+// Rand draws a variate.
+func (d Exponential) Rand(g *randx.RNG) float64 {
+	return d.Min + g.Exponential(d.Scale)
+}
+
+func (d Exponential) String() string {
+	return fmt.Sprintf("exponential(min=%.4g, scale=%.4g)", d.Min, d.Scale)
+}

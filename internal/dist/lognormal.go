@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"flowrank/internal/randx"
+)
+
+// Lognormal is a shifted lognormal: S = Min + exp(N(Mu, Sigma²)). All
+// moments are finite — a "short tail" in the paper's sense — which is the
+// regime of the Abilene workload (§8.3) that the paper identifies as
+// hardest for ranking from samples.
+type Lognormal struct {
+	// Min is the minimum flow size the law is shifted to.
+	Min float64
+	// Mu and Sigma parameterize the underlying normal.
+	Mu, Sigma float64
+}
+
+// CCDF returns P{S > x}.
+func (d Lognormal) CCDF(x float64) float64 {
+	if x <= d.Min {
+		return 1
+	}
+	z := (math.Log(x-d.Min) - d.Mu) / (d.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(z)
+}
+
+// QuantileCCDF returns the size with upper-tail probability u.
+func (d Lognormal) QuantileCCDF(u float64) float64 {
+	if u >= 1 {
+		return d.Min
+	}
+	if u <= 0 {
+		return math.Inf(1)
+	}
+	z := math.Erfcinv(2 * u)
+	return d.Min + math.Exp(d.Mu+d.Sigma*math.Sqrt2*z)
+}
+
+// Mean returns Min + exp(Mu + Sigma²/2).
+func (d Lognormal) Mean() float64 {
+	return d.Min + math.Exp(d.Mu+d.Sigma*d.Sigma/2)
+}
+
+// Rand draws a variate.
+func (d Lognormal) Rand(g *randx.RNG) float64 {
+	return d.Min + g.Lognormal(d.Mu, d.Sigma)
+}
+
+func (d Lognormal) String() string {
+	return fmt.Sprintf("lognormal(min=%.4g, mu=%.4g, sigma=%.4g)", d.Min, d.Mu, d.Sigma)
+}

@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"flowrank/internal/numeric"
+	"flowrank/internal/randx"
+)
+
+func TestNewMixtureErrors(t *testing.T) {
+	if _, err := NewMixture(); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture(Component{Weight: 1, Dist: nil}); err == nil {
+		t.Error("nil component distribution accepted")
+	}
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewMixture(Component{Weight: w, Dist: ParetoWithMean(9.6, 1.5)}); err == nil {
+			t.Errorf("weight %g accepted", w)
+		}
+	}
+}
+
+func TestMixtureNormalizesWeights(t *testing.T) {
+	mice := ExponentialWithMean(1, 3)
+	elephants := ParetoWithMean(100, 1.8)
+	m, err := NewMixture(
+		Component{Weight: 6, Dist: mice},
+		Component{Weight: 2, Dist: elephants},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.75*mice.Mean() + 0.25*elephants.Mean()
+	if got := m.Mean(); math.Abs(got-wantMean) > 1e-12*wantMean {
+		t.Errorf("mixture mean %g, want %g", got, wantMean)
+	}
+	for _, x := range []float64{0, 1, 2, 5, 20, 100, 1e4} {
+		want := 0.75*mice.CCDF(x) + 0.25*elephants.CCDF(x)
+		if got := m.CCDF(x); math.Abs(got-want) > 1e-14 {
+			t.Errorf("CCDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestMixtureSingleComponentIsTransparent(t *testing.T) {
+	d := ParetoWithMean(9.6, 1.5)
+	m, err := NewMixture(Component{Weight: 2.5, Dist: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{1e-9, 1e-4, 0.1, 0.5, 0.99} {
+		a, b := m.QuantileCCDF(u), d.QuantileCCDF(u)
+		if math.Abs(a-b) > 1e-9*b {
+			t.Errorf("QuantileCCDF(%g): mixture %g vs component %g", u, a, b)
+		}
+	}
+	g1, g2 := randx.New(9), randx.New(9)
+	for i := 0; i < 1000; i++ {
+		// One extra uniform is burnt on component selection; only the
+		// distribution (not the stream alignment) must match, so compare
+		// through the sample mean.
+		_ = m.Rand(g1)
+		_ = d.Rand(g2)
+	}
+}
+
+func TestMixtureRandClassShares(t *testing.T) {
+	// Mice below 50, elephants above: the draw frequencies must follow
+	// the weights.
+	m, err := NewMixture(
+		Component{Weight: 0.8, Dist: ExponentialWithMean(1, 3)},
+		Component{Weight: 0.2, Dist: Pareto{Scale: 100, Shape: 2.5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := randx.New(11)
+	const n = 100_000
+	big := 0
+	for i := 0; i < n; i++ {
+		if m.Rand(g) >= 100 {
+			big++
+		}
+	}
+	share := float64(big) / n
+	if math.Abs(share-0.2) > 0.01 {
+		t.Errorf("elephant share %g, want ~0.2", share)
+	}
+}
+
+func TestMixtureWithEmpiricalComponent(t *testing.T) {
+	// A step-CCDF component must not break the quantile bisection.
+	emp := NewEmpirical([]float64{2, 2, 3, 7, 7, 7, 11, 40})
+	m, err := NewMixture(
+		Component{Weight: 1, Dist: emp},
+		Component{Weight: 1, Dist: ExponentialWithMean(1, 9.6)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, u := range []float64{1e-6, 1e-3, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999} {
+		x := m.QuantileCCDF(u)
+		if math.IsNaN(x) || x > prev*(1+1e-12) {
+			t.Fatalf("QuantileCCDF(%g) = %g (prev %g)", u, x, prev)
+		}
+		// The step CCDF makes exact inversion impossible; the defining
+		// sandwich property must still hold around the returned point.
+		if lo := m.CCDF(x * (1 + 1e-9)); lo > u+1e-9 {
+			t.Errorf("CCDF just above QuantileCCDF(%g) = %g, want <= u", u, lo)
+		}
+		if hi := m.CCDF(x * (1 - 1e-9)); hi < u-1e-9 && x > 2 {
+			t.Errorf("CCDF just below QuantileCCDF(%g) = %g, want >= u", u, hi)
+		}
+		prev = x
+	}
+}
+
+func TestEmpiricalSteps(t *testing.T) {
+	e := NewEmpirical([]float64{5, 1, 2, 2}) // unsorted on purpose
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if got := e.Mean(); got != 2.5 {
+		t.Errorf("mean %g, want 2.5", got)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 0.75}, {1.5, 0.75}, {2, 0.25}, {4.9, 0.25}, {5, 0}, {9, 0},
+	}
+	for _, c := range cases {
+		if got := e.CCDF(c.x); got != c.want {
+			t.Errorf("CCDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	quants := []struct{ u, want float64 }{
+		{1, 1}, {0.76, 1}, {0.75, 1}, {0.5, 2}, {0.26, 2}, {0.25, 2}, {0.2, 5}, {1e-9, 5},
+	}
+	for _, c := range quants {
+		if got := e.QuantileCCDF(c.u); got != c.want {
+			t.Errorf("QuantileCCDF(%g) = %g, want %g", c.u, got, c.want)
+		}
+	}
+	// Pseudo-inverse property: CCDF at the returned value never exceeds u.
+	for u := 0.001; u <= 1; u += 0.001 {
+		if e.CCDF(e.QuantileCCDF(u)) > u {
+			t.Fatalf("CCDF(QuantileCCDF(%g)) = %g above u", u, e.CCDF(e.QuantileCCDF(u)))
+		}
+	}
+	mustPanic(t, func() { NewEmpirical(nil) })
+}
+
+func TestEmpiricalRandBootstraps(t *testing.T) {
+	values := []float64{1, 2, 2, 5, 9}
+	e := NewEmpirical(values)
+	in := map[float64]bool{1: true, 2: true, 5: true, 9: true}
+	g := randx.New(3)
+	counts := map[float64]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		v := e.Rand(g)
+		if !in[v] {
+			t.Fatalf("draw %g not in sample", v)
+		}
+		counts[v]++
+	}
+	if got := float64(counts[2]) / n; math.Abs(got-0.4) > 0.01 {
+		t.Errorf("value 2 drawn with frequency %g, want ~0.4", got)
+	}
+}
+
+func TestDiscretizeIsAPMF(t *testing.T) {
+	for _, d := range laws(t) {
+		pmf := Discretize(d, 5000)
+		if pmf[0] != 0 {
+			t.Fatalf("%s: pmf[0] = %g", d, pmf[0])
+		}
+		var sum numeric.KahanSum
+		for s, v := range pmf {
+			if v < 0 {
+				t.Fatalf("%s: pmf[%d] = %g negative", d, s, v)
+			}
+			sum.Add(v)
+		}
+		if got := sum.Sum(); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s: pmf sums to %g", d, got)
+		}
+	}
+}
+
+func TestDiscretizeTailMatchesCCDF(t *testing.T) {
+	d := ParetoWithMean(9.6, 1.5)
+	pmf := Discretize(d, 10_000)
+	for _, k := range []int{1, 5, 50, 500, 5000} {
+		var tail numeric.KahanSum
+		for s := k + 1; s < len(pmf); s++ {
+			tail.Add(pmf[s])
+		}
+		want := d.CCDF(float64(k) + 0.5)
+		if got := tail.Sum(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("tail beyond %d = %g, CCDF = %g", k, got, want)
+		}
+	}
+}
+
+func TestDiscretizeMeanMatchesBoundedLaw(t *testing.T) {
+	// On a bounded law nothing is folded into the last bin, so the pmf
+	// mean must agree with the continuous mean up to rounding resolution.
+	d := BoundedPareto{Scale: 2, Max: 800, Shape: 1.5}
+	pmf := Discretize(d, 1000)
+	var mean numeric.KahanSum
+	for s, v := range pmf {
+		mean.Add(float64(s) * v)
+	}
+	if got, want := mean.Sum(), d.Mean(); math.Abs(got-want) > 0.02*want {
+		t.Errorf("discretized mean %g, continuous %g", got, want)
+	}
+}
+
+func TestDiscretizeEdgeCases(t *testing.T) {
+	if pmf := Discretize(ParetoWithMean(9.6, 1.5), 1); len(pmf) != 2 || pmf[1] != 1 {
+		t.Errorf("max=1 pmf = %v", pmf)
+	}
+	mustPanic(t, func() { Discretize(nil, 10) })
+	mustPanic(t, func() { Discretize(ParetoWithMean(9.6, 1.5), 0) })
+}

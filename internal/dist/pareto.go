@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"flowrank/internal/randx"
+)
+
+// Pareto is the paper's heavy-tailed flow-size law: sizes exceed Scale and
+// P{S > x} = (x/Scale)^-Shape. Shape (β in the paper) near 1 gives the
+// heaviest tails; the mean is finite only for Shape > 1.
+type Pareto struct {
+	// Scale is the minimum flow size (a in the paper).
+	Scale float64
+	// Shape is the tail index (β in the paper).
+	Shape float64
+}
+
+// ParetoWithMean returns the Pareto distribution with the given mean and
+// shape, solving Scale = mean·(shape-1)/shape. It panics if shape <= 1,
+// where no scale can produce a finite mean.
+func ParetoWithMean(mean, shape float64) Pareto {
+	if shape <= 1 {
+		panic(fmt.Sprintf("dist: Pareto shape %g <= 1 has no finite mean", shape))
+	}
+	return Pareto{Scale: mean * (shape - 1) / shape, Shape: shape}
+}
+
+// CCDF returns P{S > x}.
+func (d Pareto) CCDF(x float64) float64 {
+	if x <= d.Scale {
+		return 1
+	}
+	return math.Pow(x/d.Scale, -d.Shape)
+}
+
+// QuantileCCDF returns the size with upper-tail probability u.
+func (d Pareto) QuantileCCDF(u float64) float64 {
+	if u >= 1 {
+		return d.Scale
+	}
+	return d.Scale * math.Pow(u, -1/d.Shape)
+}
+
+// Mean returns Scale·Shape/(Shape-1), or +Inf for Shape <= 1.
+func (d Pareto) Mean() float64 {
+	if d.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return d.Scale * d.Shape / (d.Shape - 1)
+}
+
+// Rand draws a variate by inversion.
+func (d Pareto) Rand(g *randx.RNG) float64 {
+	return g.Pareto(d.Scale, d.Shape)
+}
+
+func (d Pareto) String() string {
+	return fmt.Sprintf("pareto(scale=%.4g, shape=%.4g)", d.Scale, d.Shape)
+}
+
+// BoundedPareto truncates a Pareto tail at a maximum size Max: for
+// Scale <= x <= Max,
+//
+//	P{S > x} = ((Scale/x)^Shape − r) / (1 − r),  r = (Scale/Max)^Shape.
+//
+// All moments are finite, which makes it the standard stand-in for
+// measured traces whose largest flow is bounded by the link capacity.
+type BoundedPareto struct {
+	// Scale is the minimum flow size; Max the maximum.
+	Scale, Max float64
+	// Shape is the tail index of the body.
+	Shape float64
+}
+
+// truncation returns r = (Scale/Max)^Shape, the untruncated tail mass
+// beyond Max.
+func (d BoundedPareto) truncation() float64 {
+	return math.Pow(d.Scale/d.Max, d.Shape)
+}
+
+// CCDF returns P{S > x}.
+func (d BoundedPareto) CCDF(x float64) float64 {
+	if x <= d.Scale {
+		return 1
+	}
+	if x >= d.Max {
+		return 0
+	}
+	r := d.truncation()
+	return (math.Pow(d.Scale/x, d.Shape) - r) / (1 - r)
+}
+
+// QuantileCCDF returns the size with upper-tail probability u.
+func (d BoundedPareto) QuantileCCDF(u float64) float64 {
+	if u >= 1 {
+		return d.Scale
+	}
+	if u <= 0 {
+		return d.Max
+	}
+	r := d.truncation()
+	return d.Scale * math.Pow(u*(1-r)+r, -1/d.Shape)
+}
+
+// Mean returns the closed-form truncated mean.
+func (d BoundedPareto) Mean() float64 {
+	l, h, a := d.Scale, d.Max, d.Shape
+	r := d.truncation()
+	if a == 1 {
+		return l / (1 - r) * math.Log(h/l)
+	}
+	return math.Pow(l, a) / (1 - r) * a / (a - 1) *
+		(math.Pow(l, 1-a) - math.Pow(h, 1-a))
+}
+
+// Rand draws a variate by inversion.
+func (d BoundedPareto) Rand(g *randx.RNG) float64 {
+	return d.QuantileCCDF(1 - g.Float64())
+}
+
+func (d BoundedPareto) String() string {
+	return fmt.Sprintf("bounded-pareto(scale=%.4g, max=%.4g, shape=%.4g)", d.Scale, d.Max, d.Shape)
+}

@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"flowrank/internal/randx"
+)
+
+// Weibull is a shifted Weibull law: sizes exceed Min and
+// P{S > x} = exp(-((x-Min)/Lambda)^K). K < 1 stretches the tail beyond
+// exponential (but still lighter than any power law); K > 1 shortens it.
+type Weibull struct {
+	// Min is the minimum flow size the law is shifted to.
+	Min float64
+	// Lambda is the scale of the excess over Min.
+	Lambda float64
+	// K is the Weibull shape.
+	K float64
+}
+
+// CCDF returns P{S > x}.
+func (d Weibull) CCDF(x float64) float64 {
+	if x <= d.Min {
+		return 1
+	}
+	return math.Exp(-math.Pow((x-d.Min)/d.Lambda, d.K))
+}
+
+// QuantileCCDF returns the size with upper-tail probability u.
+func (d Weibull) QuantileCCDF(u float64) float64 {
+	if u >= 1 {
+		return d.Min
+	}
+	return d.Min + d.Lambda*math.Pow(-math.Log(u), 1/d.K)
+}
+
+// Mean returns Min + Lambda·Γ(1 + 1/K).
+func (d Weibull) Mean() float64 {
+	return d.Min + d.Lambda*math.Gamma(1+1/d.K)
+}
+
+// Rand draws a variate by inversion.
+func (d Weibull) Rand(g *randx.RNG) float64 {
+	return d.QuantileCCDF(1 - g.Float64())
+}
+
+func (d Weibull) String() string {
+	return fmt.Sprintf("weibull(min=%.4g, lambda=%.4g, k=%.4g)", d.Min, d.Lambda, d.K)
+}

@@ -154,6 +154,43 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+func TestMixtureSizeDistDropsIn(t *testing.T) {
+	// A multi-class size law must work as a drop-in Config.SizeDist: the
+	// generated trace keeps the mixture mean and contains both the mice
+	// bulk and the elephant class.
+	mix, err := dist.NewMixture(
+		dist.Component{Weight: 0.95, Dist: dist.ExponentialWithMean(1, 5)},
+		dist.Component{Weight: 0.05, Dist: dist.ParetoWithMean(200, 1.8)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SprintFiveTuple(60, 9)
+	cfg.ArrivalRate = 1000
+	cfg.SizeDist = mix
+	recs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pktSum float64
+	elephants := 0
+	for _, r := range recs {
+		pktSum += float64(r.Packets)
+		if r.Packets >= 80 { // Pareto class scale ≈ 89, exponential P{>80} ≈ 1e-7
+			elephants++
+		}
+	}
+	mean := pktSum / float64(len(recs))
+	want := mix.Mean()
+	if mean < 0.7*want || mean > 1.4*want {
+		t.Errorf("mean flow size %g packets, mixture mean %g", mean, want)
+	}
+	share := float64(elephants) / float64(len(recs))
+	if share < 0.03 || share > 0.07 {
+		t.Errorf("elephant class share %g, want ~0.05", share)
+	}
+}
+
 func TestDurationModels(t *testing.T) {
 	g := randx.New(5)
 	ln := LognormalDurationWithMean(13, 1.0)
