@@ -1,8 +1,10 @@
 # Tier-1 verification and housekeeping for the flowrank module.
+# CI (.github/workflows/ci.yml) runs `make check`, `make race` and the
+# bench-smoke commands below, so local and CI verification stay aligned.
 
 GO ?= go
 
-.PHONY: all build test short vet fmt check bench
+.PHONY: all build test short vet fmt check race bench bench-smoke
 
 all: check
 
@@ -28,5 +30,15 @@ fmt:
 
 check: vet fmt build test
 
+# Race detector over the short suite: the misranking-table worker pool
+# and the parallel outer quadrature are the concurrency hot spots.
+race:
+	$(GO) test -race -short ./...
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The subset CI's bench-smoke job runs, plus the machine-readable record.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets' -benchtime 1x
+	$(GO) run ./cmd/flowrank-bench -fig kernels -json

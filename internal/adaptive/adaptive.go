@@ -110,6 +110,9 @@ type Controller struct {
 	Detection bool
 	// MinRate and MaxRate clamp recommendations (defaults 1e-4 and 1).
 	MinRate, MaxRate float64
+	// Workers bounds the fitted model's evaluation parallelism
+	// (core.Model.Workers: 0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // Observation summarizes one sampled measurement bin.
@@ -167,6 +170,7 @@ func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
 		Dist:         dist.ParetoWithMean(meanEst, beta),
 		PoissonTails: true,
 		Kernel:       core.KernelHybrid,
+		Workers:      c.Workers,
 	}
 	if model.N <= c.TopT {
 		model.N = c.TopT + 1

@@ -1,0 +1,230 @@
+// Package benchio defines the versioned, machine-readable benchmark
+// result format of the repository: what cmd/flowrank-bench -json emits,
+// what the CI bench-smoke job archives as a workflow artifact, and what
+// future tooling diffs to track the performance trajectory.
+//
+// A File carries the schema version, the toolchain and host coordinates
+// needed to compare runs fairly, the experiment options, and one Result
+// per experiment: wall time, per-table row/column shapes, and an FNV-64a
+// checksum over every rendered cell. Two runs of the same experiment at
+// the same options must produce equal checksums — the analytical pipeline
+// is deterministic — so a checksum drift in CI flags a numerical
+// regression even when the timing noise hides a slowdown.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flowrank/internal/report"
+)
+
+// SchemaVersion identifies the File layout. Readers reject files whose
+// version they do not know instead of guessing at field semantics.
+const SchemaVersion = 1
+
+// File is one benchmark run: a set of experiments executed by one binary
+// on one host.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	Module        string `json:"module"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	// CreatedAt is the RFC 3339 run timestamp.
+	CreatedAt string `json:"created_at"`
+	// Options echoes the experiment options the run used.
+	Options Options  `json:"options"`
+	Results []Result `json:"results"`
+}
+
+// Options mirrors experiments.Options for provenance.
+type Options struct {
+	Full    bool   `json:"full"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the experiment id ("fig04", "kernels", ...).
+	ID string `json:"id"`
+	// Title is the experiment's one-line description.
+	Title string `json:"title,omitempty"`
+	// WallNS is the wall-clock run time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Tables digests the produced tables; empty when the run failed.
+	Tables []TableDigest `json:"tables,omitempty"`
+	// Error carries the failure message of a failed experiment.
+	Error string `json:"error,omitempty"`
+}
+
+// TableDigest summarizes one report table: its shape and a checksum of
+// the rendered cells.
+type TableDigest struct {
+	ID   string `json:"id"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	// Checksum is the FNV-64a hash (hex) over the header labels and every
+	// cell, in row-major order, each terminated by a unit separator.
+	Checksum string `json:"checksum"`
+}
+
+// Digest computes the digest of a table.
+func Digest(t *report.Table) TableDigest {
+	h := fnv.New64a()
+	hash := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0x1f}) // unit separator: "a","bc" must differ from "ab","c"
+	}
+	for _, c := range t.Columns {
+		hash(c)
+	}
+	for _, row := range t.Rows {
+		for _, cell := range row {
+			hash(cell)
+		}
+	}
+	return TableDigest{
+		ID:       t.ID,
+		Rows:     len(t.Rows),
+		Cols:     len(t.Columns),
+		Checksum: fmt.Sprintf("%016x", h.Sum64()),
+	}
+}
+
+// Validate checks that the file is structurally usable by this package.
+func (f *File) Validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("benchio: schema version %d, this reader understands %d",
+			f.SchemaVersion, SchemaVersion)
+	}
+	seen := make(map[string]bool, len(f.Results))
+	for i, r := range f.Results {
+		if r.ID == "" {
+			return fmt.Errorf("benchio: result %d has no experiment id", i)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("benchio: duplicate result for experiment %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.WallNS < 0 {
+			return fmt.Errorf("benchio: result %q has negative wall time", r.ID)
+		}
+	}
+	return nil
+}
+
+// Encode renders the file as indented JSON (trailing newline included).
+func Encode(f *File) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchio: encoding: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses and validates a file.
+func Decode(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchio: decoding: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// WriteFile writes the file to path, creating parent directories.
+func WriteFile(path string, f *File) error {
+	b, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("benchio: creating %s: %w", dir, err)
+		}
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("benchio: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile reads and validates the file at path.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: reading %s: %w", path, err)
+	}
+	return Decode(b)
+}
+
+// Delta compares one experiment between two runs: a base (the older
+// reference) and a head (the candidate).
+type Delta struct {
+	ID string `json:"id"`
+	// BaseNS and HeadNS are the wall times; Speedup is base/head (> 1
+	// means the head run is faster). Zero when either side failed or is
+	// absent.
+	BaseNS  int64   `json:"base_ns"`
+	HeadNS  int64   `json:"head_ns"`
+	Speedup float64 `json:"speedup"`
+	// ChecksumsMatch reports whether both runs produced identical table
+	// digests — the numeric-regression signal.
+	ChecksumsMatch bool `json:"checksums_match"`
+	// OnlyIn marks experiments present in a single file ("base"/"head").
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// Compare pairs the experiments of two runs by id, in the head file's
+// order followed by base-only ids.
+func Compare(base, head *File) []Delta {
+	baseByID := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByID[r.ID] = r
+	}
+	deltas := make([]Delta, 0, len(head.Results))
+	seen := make(map[string]bool, len(head.Results))
+	for _, hr := range head.Results {
+		seen[hr.ID] = true
+		br, ok := baseByID[hr.ID]
+		if !ok {
+			deltas = append(deltas, Delta{ID: hr.ID, HeadNS: hr.WallNS, OnlyIn: "head"})
+			continue
+		}
+		d := Delta{ID: hr.ID, BaseNS: br.WallNS, HeadNS: hr.WallNS}
+		if br.Error == "" && hr.Error == "" && hr.WallNS > 0 {
+			d.Speedup = float64(br.WallNS) / float64(hr.WallNS)
+			d.ChecksumsMatch = digestsEqual(br.Tables, hr.Tables)
+		}
+		deltas = append(deltas, d)
+	}
+	for _, br := range base.Results {
+		if !seen[br.ID] {
+			deltas = append(deltas, Delta{ID: br.ID, BaseNS: br.WallNS, OnlyIn: "base"})
+		}
+	}
+	return deltas
+}
+
+func digestsEqual(a, b []TableDigest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

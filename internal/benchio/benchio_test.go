@@ -1,0 +1,173 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowrank/internal/report"
+)
+
+func sampleTable() *report.Table {
+	t := &report.Table{
+		ID:      "fig99",
+		Title:   "sample",
+		Columns: []string{"p(%)", "metric"},
+	}
+	t.AddRow("0.1", 12.5)
+	t.AddRow("1", 0.73)
+	return t
+}
+
+func sampleFile() *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		Module:        "flowrank",
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		CreatedAt:     "2026-07-29T00:00:00Z",
+		Options:       Options{Seed: 7},
+		Results: []Result{
+			{ID: "fig99", Title: "sample", WallNS: 1500, Tables: []TableDigest{Digest(sampleTable())}},
+			{ID: "kernels", WallNS: 4000, Error: "boom"},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile()
+	path := filepath.Join(t.TempDir(), "nested", "BENCH_test.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Module != "flowrank" {
+		t.Errorf("header mangled: %+v", got)
+	}
+	if len(got.Results) != 2 {
+		t.Fatalf("results %d, want 2", len(got.Results))
+	}
+	if got.Results[0].Tables[0] != f.Results[0].Tables[0] {
+		t.Errorf("digest mangled: %+v vs %+v", got.Results[0].Tables[0], f.Results[0].Tables[0])
+	}
+	if got.Results[1].Error != "boom" {
+		t.Errorf("error field mangled: %q", got.Results[1].Error)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"future schema", func(f *File) { f.SchemaVersion = SchemaVersion + 1 }},
+		{"zero schema", func(f *File) { f.SchemaVersion = 0 }},
+		{"empty id", func(f *File) { f.Results[0].ID = "" }},
+		{"duplicate id", func(f *File) { f.Results[1].ID = f.Results[0].ID }},
+		{"negative wall", func(f *File) { f.Results[0].WallNS = -1 }},
+	}
+	for _, c := range cases {
+		f := sampleFile()
+		c.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+		if _, err := Encode(f); err == nil {
+			t.Errorf("%s: encoded", c.name)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := Decode([]byte(`{"schema_version": 99}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func TestDigestDetectsCellChanges(t *testing.T) {
+	a := Digest(sampleTable())
+	if a.Rows != 2 || a.Cols != 2 || len(a.Checksum) != 16 {
+		t.Fatalf("digest shape: %+v", a)
+	}
+	if b := Digest(sampleTable()); b != a {
+		t.Errorf("digest not deterministic: %+v vs %+v", a, b)
+	}
+	changed := sampleTable()
+	changed.Rows[1][1] = "0.74"
+	if b := Digest(changed); b.Checksum == a.Checksum {
+		t.Error("cell change not reflected in checksum")
+	}
+	// Cell-boundary shifts must not collide: ["ab",""] vs ["a","b"].
+	t1 := &report.Table{ID: "x", Columns: []string{"ab", ""}}
+	t2 := &report.Table{ID: "x", Columns: []string{"a", "b"}}
+	if Digest(t1).Checksum == Digest(t2).Checksum {
+		t.Error("boundary shift collides")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := sampleFile()
+	base.Results = []Result{
+		{ID: "fig99", WallNS: 3000, Tables: []TableDigest{Digest(sampleTable())}},
+		{ID: "gone", WallNS: 10},
+	}
+	head := sampleFile()
+	head.Results = []Result{
+		{ID: "fig99", WallNS: 1000, Tables: []TableDigest{Digest(sampleTable())}},
+		{ID: "fresh", WallNS: 20},
+	}
+	deltas := Compare(base, head)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	d := deltas[0]
+	if d.ID != "fig99" || d.Speedup != 3 || !d.ChecksumsMatch {
+		t.Errorf("fig99 delta: %+v", d)
+	}
+	if deltas[1].ID != "fresh" || deltas[1].OnlyIn != "head" {
+		t.Errorf("fresh delta: %+v", deltas[1])
+	}
+	if deltas[2].ID != "gone" || deltas[2].OnlyIn != "base" {
+		t.Errorf("gone delta: %+v", deltas[2])
+	}
+
+	// A numeric drift flips ChecksumsMatch without touching Speedup.
+	drift := sampleTable()
+	drift.Rows[0][1] = "999"
+	head.Results[0].Tables = []TableDigest{Digest(drift)}
+	if d := Compare(base, head)[0]; d.ChecksumsMatch {
+		t.Error("checksum drift not detected")
+	}
+}
+
+func TestCompareFailedRuns(t *testing.T) {
+	base := sampleFile()
+	head := sampleFile()
+	deltas := Compare(base, head)
+	for _, d := range deltas {
+		if d.ID == "kernels" && d.Speedup != 0 {
+			t.Errorf("failed run got a speedup: %+v", d)
+		}
+	}
+}
+
+func TestEncodeIsStable(t *testing.T) {
+	a, err := Encode(sampleFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Encode(sampleFile())
+	if string(a) != string(b) {
+		t.Error("encoding not deterministic")
+	}
+	if !strings.HasSuffix(string(a), "\n") {
+		t.Error("missing trailing newline")
+	}
+}

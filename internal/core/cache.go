@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// The discrete-model cache.
+//
+// Sweep experiments evaluate the same DiscreteModel at many sampling
+// rates, and several models over the same law: each metric call used to
+// rebuild the O(max²) misranking table and the strict CCDF from scratch.
+// Both are pure functions of (pmf, rate), so they are memoized here,
+// keyed by a fingerprint of the pmf bits, the support size, and the exact
+// rate bits. A hit returns the previously built tables unchanged, which
+// keeps cached evaluations bit-identical to uncached ones.
+
+// modelCacheKey identifies the derived tables of one discrete evaluation:
+// the flow-size law (by pmf fingerprint), its support, and the sampling
+// rate.
+type modelCacheKey struct {
+	fp      uint64
+	support int
+	pbits   uint64
+}
+
+// discreteTables bundles what a metric evaluation derives from (pmf, p).
+// Both slices are shared between cache hits and must stay read-only.
+type discreteTables struct {
+	gt []float64
+	pm [][]float64
+}
+
+// discreteCacheMaxEntries bounds the cache. A misranking table at support
+// M holds (M+1)² floats (~2 MB at M = 500); when the bound is reached the
+// cache is reset wholesale — simple, and a full sweep over one law fits
+// comfortably within the bound.
+const discreteCacheMaxEntries = 32
+
+var discreteCache = struct {
+	sync.Mutex
+	entries map[modelCacheKey]*discreteTables
+}{entries: make(map[modelCacheKey]*discreteTables)}
+
+// cachedTables returns the strict CCDF and misranking table for (dm, p),
+// building and storing them on a miss. The build runs outside the lock so
+// a long table construction does not serialize unrelated evaluations;
+// concurrent misses on the same key may compute twice, and the first
+// store wins.
+func cachedTables(dm DiscreteModel, p float64) ([]float64, [][]float64) {
+	key := modelCacheKey{
+		fp:      fingerprintPMF(dm.PMF),
+		support: len(dm.PMF),
+		pbits:   math.Float64bits(p),
+	}
+	discreteCache.Lock()
+	t, ok := discreteCache.entries[key]
+	discreteCache.Unlock()
+	if ok {
+		return t.gt, t.pm
+	}
+	built := &discreteTables{gt: dm.ccdfStrict(), pm: dm.misrankTable(p)}
+	discreteCache.Lock()
+	if prior, ok := discreteCache.entries[key]; ok {
+		built = prior
+	} else {
+		if len(discreteCache.entries) >= discreteCacheMaxEntries {
+			discreteCache.entries = make(map[modelCacheKey]*discreteTables)
+		}
+		discreteCache.entries[key] = built
+	}
+	discreteCache.Unlock()
+	return built.gt, built.pm
+}
+
+// resetDiscreteCache empties the cache (tests).
+func resetDiscreteCache() {
+	discreteCache.Lock()
+	discreteCache.entries = make(map[modelCacheKey]*discreteTables)
+	discreteCache.Unlock()
+}
+
+// discreteCacheLen reports the current entry count (tests).
+func discreteCacheLen() int {
+	discreteCache.Lock()
+	defer discreteCache.Unlock()
+	return len(discreteCache.entries)
+}
+
+// fingerprintPMF hashes the pmf bit patterns with FNV-64a. Distinct laws
+// over the same support collide only if their float64 representations
+// hash equal, which the 64-bit state makes vanishingly unlikely for the
+// handful of laws a process sweeps.
+func fingerprintPMF(pmf []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range pmf {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"flowrank/internal/numeric"
 )
@@ -24,6 +27,17 @@ type DiscreteModel struct {
 	PMF []float64
 	// N is the total number of flows; T the top-list length.
 	N, T int
+
+	// Workers bounds the parallelism of the misranking-table
+	// construction: 0 means GOMAXPROCS, 1 forces the serial path. Any
+	// value produces the identical table — rows are independent and each
+	// cell is written exactly once — so Workers is purely a latency knob.
+	Workers int
+
+	// NoCache bypasses the package-level table cache, recomputing the
+	// strict CCDF and the misranking table on every metric call. The
+	// cross-check tests use it to pin the cached path to the direct one.
+	NoCache bool
 }
 
 // Validate checks parameters and that PMF is a distribution.
@@ -65,20 +79,76 @@ func (dm DiscreteModel) ccdfStrict() []float64 {
 
 // misrankTable returns pm[i][j] = MisrankExact(i, j, p) for 1 <= i, j <= M
 // (symmetric; the diagonal is the equal-size convention).
+//
+// Rows are sharded across a worker pool: worker of row i writes the upper
+// row segment pm[i][i..m] and its mirror, the lower column segment
+// pm[i..m][i]. Those segments partition the table, so every cell is
+// written by exactly one worker and the result is identical for any
+// worker count — MisrankExact(i, j, p) does not depend on the schedule.
 func (dm DiscreteModel) misrankTable(p float64) [][]float64 {
 	m := len(dm.PMF) - 1
 	pm := make([][]float64, m+1)
 	for i := 1; i <= m; i++ {
 		pm[i] = make([]float64, m+1)
 	}
-	for i := 1; i <= m; i++ {
-		for j := i; j <= m; j++ {
-			v := MisrankExact(i, j, p)
-			pm[i][j] = v
-			pm[j][i] = v
-		}
+	workers := dm.workers()
+	if workers > m {
+		workers = m
 	}
+	if workers <= 1 {
+		for i := 1; i <= m; i++ {
+			misrankRow(pm, i, m, p)
+		}
+		return pm
+	}
+	// Dynamic row scheduling: row i costs O(m-i), so a static split would
+	// leave the last workers idle. An atomic ticket balances the pool.
+	var next atomic.Int64
+	next.Store(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i > m {
+					return
+				}
+				misrankRow(pm, i, m, p)
+			}
+		}()
+	}
+	wg.Wait()
 	return pm
+}
+
+// misrankRow fills row i of the symmetric misranking table: the cells
+// pm[i][j] for j >= i and their mirrors pm[j][i].
+func misrankRow(pm [][]float64, i, m int, p float64) {
+	for j := i; j <= m; j++ {
+		v := MisrankExact(i, j, p)
+		pm[i][j] = v
+		pm[j][i] = v
+	}
+}
+
+// workers resolves the Workers field: 0 means GOMAXPROCS.
+func (dm DiscreteModel) workers() int {
+	if dm.Workers > 0 {
+		return dm.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tables returns the strict CCDF and the misranking table for rate p,
+// consulting the package-level cache unless NoCache is set. The returned
+// slices are shared and must be treated as read-only.
+func (dm DiscreteModel) tables(p float64) ([]float64, [][]float64) {
+	if dm.NoCache {
+		return dm.ccdfStrict(), dm.misrankTable(p)
+	}
+	return cachedTables(dm, p)
 }
 
 // RankingMetric returns the §5 metric (2N−t−1)·t/2 · P̄mt evaluated by
@@ -88,8 +158,7 @@ func (dm DiscreteModel) RankingMetric(p float64) float64 {
 		panic(err)
 	}
 	mMax := len(dm.PMF) - 1
-	gt := dm.ccdfStrict()
-	pm := dm.misrankTable(p)
+	gt, pm := dm.tables(p)
 
 	// P̄mt · (t/N) = Σ_i pmf_i [ Pt(i,t,N-1)·Σ_{j<=i} p_j·Pm +
 	//                            Pt(i,t-1,N-1)·Σ_{j>i} p_j·Pm ]
@@ -129,8 +198,7 @@ func (dm DiscreteModel) DetectionMetric(p float64) float64 {
 		panic(err)
 	}
 	mMax := len(dm.PMF) - 1
-	gt := dm.ccdfStrict()
-	pm := dm.misrankTable(p)
+	gt, pm := dm.tables(p)
 
 	pmfBig := make([]float64, 0, dm.T)
 	var outer numeric.KahanSum

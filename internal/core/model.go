@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"flowrank/internal/dist"
 	"flowrank/internal/numeric"
@@ -49,6 +52,14 @@ type Model struct {
 	// InnerTol is the absolute adaptive-quadrature tolerance of the inner
 	// integrals (default 1e-13).
 	InnerTol float64
+
+	// Workers bounds the outer-quadrature parallelism of one metric
+	// evaluation: 0 means GOMAXPROCS, 1 forces the serial path. The outer
+	// Gauss–Legendre nodes are independent, each worker evaluates its own
+	// nodes with its own evaluation state, and the node values are merged
+	// in node order with the same compensated summation as the serial
+	// path — so every worker count produces the bit-identical metric.
+	Workers int
 }
 
 // Validate checks the model parameters.
@@ -96,23 +107,6 @@ func (m Model) hybridThreshold() float64 {
 		return 10
 	}
 	return m.HybridThreshold
-}
-
-// kernel returns the misranking probability for continuous sizes
-// small <= large under the model's kernel selection.
-func (m Model) kernel(small, large, p float64) float64 {
-	if m.Kernel == KernelHybrid && p*small < m.hybridThreshold() {
-		s1 := int(math.Round(small))
-		if s1 < 1 {
-			s1 = 1
-		}
-		s2 := int(math.Round(large))
-		if s2 < 1 {
-			s2 = 1
-		}
-		return misrankExactTrunc(s1, s2, p)
-	}
-	return misrankKernel(small, large, p)
 }
 
 // lambdaMax is the Poisson intensity beyond which the top-t membership
@@ -165,20 +159,22 @@ func (m Model) RankingMetric(p float64) float64 {
 		return (2*n - t - 1) * t / 2
 	}
 	uhi := m.uHi()
-	integrand := func(w float64) float64 {
-		u := w * uhi
-		if u <= 0 {
-			u = math.SmallestNonzeroFloat64
+	integral := m.integrateOuter(func() numeric.Func1 {
+		ev := m.newEval(p)
+		return func(w float64) float64 {
+			u := w * uhi
+			if u <= 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			x := m.Dist.QuantileCCDF(u)
+			below := TopProb(u, m.T, m.N-1, m.PoissonTails) * ev.innerBelow(u, x)
+			var above float64
+			if m.T > 1 {
+				above = TopProb(u, m.T-1, m.N-1, m.PoissonTails) * ev.innerAbove(u, x)
+			}
+			return below + above
 		}
-		x := m.Dist.QuantileCCDF(u)
-		below := TopProb(u, m.T, m.N-1, m.PoissonTails) * m.innerBelow(u, x, p)
-		var above float64
-		if m.T > 1 {
-			above = TopProb(u, m.T-1, m.N-1, m.PoissonTails) * m.innerAbove(u, x, p)
-		}
-		return below + above
-	}
-	integral := m.integrateOuter(integrand) * uhi
+	}) * uhi
 	n, t := float64(m.N), float64(m.T)
 	return (2*n - t - 1) / 2 * n * integral
 }
@@ -205,17 +201,19 @@ func (m Model) DetectionMetric(p float64) float64 {
 		return t * (n - t)
 	}
 	uhi := m.uHi()
-	pmfBig := make([]float64, 0, m.T)
-	integrand := func(w float64) float64 {
-		u := w * uhi
-		if u <= 0 {
-			u = math.SmallestNonzeroFloat64
+	integral := m.integrateOuter(func() numeric.Func1 {
+		ev := m.newEval(p)
+		pmfBig := make([]float64, 0, m.T)
+		return func(w float64) float64 {
+			u := w * uhi
+			if u <= 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			x := m.Dist.QuantileCCDF(u)
+			pmfBig = topPMF(pmfBig, u, m.T, m.N, m.PoissonTails)
+			return ev.innerDetect(pmfBig, u, x)
 		}
-		x := m.Dist.QuantileCCDF(u)
-		pmfBig = topPMF(pmfBig, u, m.T, m.N, m.PoissonTails)
-		return m.innerDetect(pmfBig, u, x, p)
-	}
-	integral := m.integrateOuter(integrand) * uhi
+	}) * uhi
 	n := float64(m.N)
 	return n * (n - 1) * integral
 }
@@ -227,86 +225,69 @@ func (m Model) AvgMisrankBoundary(p float64) float64 {
 	return m.DetectionMetric(p) / (t * (n - t))
 }
 
-// integrateOuter integrates f over w in [0, 1] with Gauss–Legendre panels
-// concentrated around the top-t membership knee.
-func (m Model) integrateOuter(f numeric.Func1) float64 {
+// integrateOuter integrates the metric integrand over w in [0, 1] with
+// Gauss–Legendre panels concentrated around the top-t membership knee.
+//
+// newIntegrand builds one integrand instance with its own evaluation
+// state (exact-kernel memo, scratch buffers); the serial path builds one,
+// the parallel path one per worker so workers never share mutable state.
+// Because every node value is a pure function of the node abscissa, and
+// the parallel merge reduces the node values in the same order with the
+// same compensated summation as the serial loop, both paths return the
+// bit-identical integral.
+func (m Model) integrateOuter(newIntegrand func() numeric.Func1) float64 {
 	panels := m.outerPanels()
 	order := m.outerOrder()
+	if order < 2 {
+		order = 2 // GLNodes' own clamp; keeps vals sized like the rule
+	}
+	workers := m.outerWorkers()
+	nPanels := len(panels) - 1
+	if workers > nPanels*order {
+		workers = nPanels * order
+	}
+	if workers <= 1 {
+		f := newIntegrand()
+		var acc numeric.KahanSum
+		for i := 0; i < nPanels; i++ {
+			acc.Add(numeric.GaussLegendre(f, panels[i], panels[i+1], order))
+		}
+		return acc.Sum()
+	}
+	// Evaluate all (panel, node) abscissas across the pool, then reduce
+	// panel by panel in node order.
+	vals := make([]float64, nPanels*order)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := newIntegrand()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(vals) {
+					return
+				}
+				pi, ni := j/order, j%order
+				vals[j] = f(numeric.GLPoint(panels[pi], panels[pi+1], ni, order))
+			}
+		}()
+	}
+	wg.Wait()
 	var acc numeric.KahanSum
-	for i := 0; i+1 < len(panels); i++ {
-		acc.Add(numeric.GaussLegendre(f, panels[i], panels[i+1], order))
+	for i := 0; i < nPanels; i++ {
+		acc.Add(numeric.GaussLegendreSum(panels[i], panels[i+1], vals[i*order:(i+1)*order], order))
 	}
 	return acc.Sum()
 }
 
-// innerBelow computes ∫_u^1 Pm(y(v), x) dv — the misranking mass against
-// all flows smaller than x — in logarithmic quantile space v = u·e^s, which
-// resolves both the sharp erfc kernel near y ≈ x and the slowly varying
-// bulk of small flows with one adaptive rule.
-func (m Model) innerBelow(u, x, p float64) float64 {
-	if u >= 1 {
-		return 0
+// outerWorkers resolves the Workers field: 0 means GOMAXPROCS.
+func (m Model) outerWorkers() int {
+	if m.Workers > 0 {
+		return m.Workers
 	}
-	smax := math.Log(1 / u)
-	f := func(s float64) float64 {
-		v := u * math.Exp(s)
-		if v > 1 {
-			v = 1
-		}
-		y := m.Dist.QuantileCCDF(v)
-		return v * m.kernel(y, x, p)
-	}
-	return numeric.AdaptiveSimpson(f, 0, smax, m.innerTol(), 48)
-}
-
-// innerAbove computes ∫_{vcut}^u Pm(x, y(v)) dv — the misranking mass
-// against larger flows — again in logarithmic quantile space v = u·e^{-s}.
-// The integral is truncated at the size beyond which the kernel is below
-// ~1e-18 (larger flows are essentially never outranked by x).
-func (m Model) innerAbove(u, x, p float64) float64 {
-	// Solve (y-x)/sqrt(2(1/p-1)(x+y)) = z* for y = x + Δ:
-	// Δ² = 2 z*² (1/p-1) (2x + Δ).
-	const zstar = 6.5 // erfc(6.5) ≈ 3e-20
-	c2 := 2 * zstar * zstar * (1/p - 1)
-	delta := (c2 + math.Sqrt(c2*c2+8*c2*x)) / 2
-	vcut := m.Dist.CCDF(x + delta)
-	if vcut < u*1e-30 {
-		vcut = u * 1e-30
-	}
-	if vcut >= u {
-		return 0
-	}
-	smax := math.Log(u / vcut)
-	f := func(s float64) float64 {
-		v := u * math.Exp(-s)
-		y := m.Dist.QuantileCCDF(v)
-		return v * m.kernel(x, y, p)
-	}
-	return numeric.AdaptiveSimpson(f, 0, smax, m.innerTol(), 48)
-}
-
-// innerDetect computes ∫_u^1 P*t(v, u) · Pm(y(v), x) dv for the detection
-// model: misranking of x (a top-T candidate) against smaller flows,
-// weighted by the probability that the pair actually straddles the top-T
-// boundary.
-func (m Model) innerDetect(pmfBig []float64, u, x, p float64) float64 {
-	if u >= 1 {
-		return 0
-	}
-	smax := math.Log(1 / u)
-	f := func(s float64) float64 {
-		v := u * math.Exp(s)
-		if v > 1 {
-			v = 1
-		}
-		y := m.Dist.QuantileCCDF(v)
-		kern := m.kernel(y, x, p)
-		if kern == 0 {
-			return 0
-		}
-		return v * kern * JointTopProb(pmfBig, v, u, m.T, m.N, m.PoissonTails)
-	}
-	return numeric.AdaptiveSimpson(f, 0, smax, m.innerTol(), 48)
+	return runtime.GOMAXPROCS(0)
 }
 
 // misrankKernel is MisrankGaussian with the arguments in (smaller, larger)

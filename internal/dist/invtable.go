@@ -1,0 +1,177 @@
+package dist
+
+import "math"
+
+// The precomputed inverse CCDF of a Mixture.
+//
+// A mixture has no closed-form quantile, and the models in internal/core
+// integrate in quantile space, calling QuantileCCDF at millions of
+// abscissas per metric evaluation. Bisecting the CCDF on every call costs
+// ~50 mixture-CCDF evaluations each; this table reduces the common case
+// to one monotone-interpolation evaluation plus a two-point verification.
+//
+// The table holds the bisection inverse at log-spaced upper-tail
+// probabilities u_k = exp(k·logStep), k = 0..n, down to uMin, keeping for
+// each node both bisection endpoints: xlo[k] with CCDF(xlo[k]) >= u_k and
+// xhi[k] with CCDF(xhi[k]) <= u_k. For u in [u_{k+1}, u_k] the pair
+// (xlo[k], xhi[k+1]) therefore brackets every pseudo-inverse of u, so the
+// table yields a ~3%-wide starting bracket for free.
+//
+// Inside the bracket a monotone piecewise-cubic Hermite interpolant
+// (Fritsch–Carlson limited tangents, fitted in (log u, log x)) predicts
+// the quantile; the prediction is accepted only if the CCDF sandwich
+// CCDF(x·(1-ε)) >= u >= CCDF(x·(1+ε)) holds at ε = 2.5e-10, which pins
+// the answer to the bisection fixed point within ~5e-10 relative. Where
+// the sandwich fails — step CCDFs from Empirical components, flat
+// segments, interpolation overshoot — the table's bracket is refined by
+// the same bisection loop the direct path uses, so correctness never
+// depends on the interpolant.
+type invTable struct {
+	uMin    float64
+	logStep float64 // log(uMin)/n, negative
+	xlo     []float64
+	xhi     []float64
+	ylog    []float64 // log(xlo), interpolation ordinates
+	tan     []float64 // Fritsch–Carlson tangents d(log x)/d(log u)
+	interp  bool      // ylog/tan usable (all xlo finite and positive)
+}
+
+const (
+	invTableNodes = 2048
+	invTableUMin  = 1e-15
+	invVerifyEps  = 2.5e-10
+)
+
+// invTable returns the lazily built table (nil when construction is not
+// possible, which keeps the pure-bisection path as the safety net).
+func (m *Mixture) invTable() *invTable {
+	m.invOnce.Do(func() { m.inv = buildInvTable(m) })
+	return m.inv
+}
+
+func buildInvTable(m *Mixture) *invTable {
+	n := invTableNodes
+	t := &invTable{
+		uMin:    invTableUMin,
+		logStep: math.Log(invTableUMin) / float64(n),
+		xlo:     make([]float64, n+1),
+		xhi:     make([]float64, n+1),
+	}
+	for k := 0; k <= n; k++ {
+		u := math.Exp(float64(k) * t.logStep)
+		if k == 0 {
+			u = 1
+		}
+		lo, hi := m.quantileBracket(u)
+		lo = m.refineBracket(u, lo, hi)
+		// Re-derive the hi endpoint at the same resolution: the refined
+		// lo plus the termination width bounds every pseudo-inverse of
+		// probabilities below u.
+		t.xlo[k] = lo
+		t.xhi[k] = lo + 2e-12*(1+math.Abs(lo))
+		if !isFiniteNonNeg(lo) {
+			return nil
+		}
+	}
+	// Nodes must be non-decreasing in k (x grows as u shrinks); float
+	// fuzz from independent bisections is flattened so bracket lookups
+	// stay valid.
+	for k := 1; k <= n; k++ {
+		if t.xlo[k] < t.xlo[k-1] {
+			t.xlo[k] = t.xlo[k-1]
+		}
+		if t.xhi[k] < t.xhi[k-1] {
+			t.xhi[k] = t.xhi[k-1]
+		}
+	}
+	t.buildInterp()
+	return t
+}
+
+func isFiniteNonNeg(x float64) bool {
+	return x >= 0 && !math.IsInf(x, 0) && !math.IsNaN(x)
+}
+
+// buildInterp fits the monotone Hermite interpolant in (log u, log x).
+// Tangents follow Fritsch–Carlson: the average of adjacent secants,
+// zeroed across direction changes and limited to three times the smaller
+// secant, which guarantees a monotone interpolant.
+func (t *invTable) buildInterp() {
+	n := len(t.xlo) - 1
+	t.ylog = make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		if t.xlo[k] <= 0 {
+			return // log undefined; interpolation stays disabled
+		}
+		t.ylog[k] = math.Log(t.xlo[k])
+	}
+	sec := make([]float64, n)
+	for k := 0; k < n; k++ {
+		sec[k] = (t.ylog[k+1] - t.ylog[k]) / t.logStep
+	}
+	t.tan = make([]float64, n+1)
+	t.tan[0] = sec[0]
+	t.tan[n] = sec[n-1]
+	for k := 1; k < n; k++ {
+		if sec[k-1]*sec[k] <= 0 {
+			t.tan[k] = 0
+			continue
+		}
+		tk := 0.5 * (sec[k-1] + sec[k])
+		lim := 3 * math.Min(math.Abs(sec[k-1]), math.Abs(sec[k]))
+		if math.Abs(tk) > lim {
+			tk = math.Copysign(lim, tk)
+		}
+		t.tan[k] = tk
+	}
+	t.interp = true
+}
+
+// segment returns k with u_{k+1} <= u <= u_k, clamped to the grid.
+func (t *invTable) segment(u float64) int {
+	k := int(math.Log(u) / t.logStep)
+	n := len(t.xlo) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	// Float fuzz near node boundaries: nudge into the segment that
+	// actually contains u.
+	if u > math.Exp(float64(k)*t.logStep) && k > 0 {
+		k--
+	}
+	if u < math.Exp(float64(k+1)*t.logStep) && k < n-1 {
+		k++
+	}
+	return k
+}
+
+// quantile answers QuantileCCDF(u) for uMin <= u < 1 through the table.
+func (t *invTable) quantile(m *Mixture, u float64) float64 {
+	k := t.segment(u)
+	lo, hi := t.xlo[k], t.xhi[k+1]
+	if hi <= lo {
+		return lo
+	}
+	if t.interp {
+		// Hermite evaluation on the segment, s in [0, 1].
+		s := (math.Log(u) - float64(k)*t.logStep) / t.logStep
+		if s < 0 {
+			s = 0
+		} else if s > 1 {
+			s = 1
+		}
+		y0, y1 := t.ylog[k], t.ylog[k+1]
+		d0, d1 := t.tan[k]*t.logStep, t.tan[k+1]*t.logStep
+		s2 := s * s
+		s3 := s2 * s
+		y := (2*s3-3*s2+1)*y0 + (s3-2*s2+s)*d0 + (-2*s3+3*s2)*y1 + (s3-s2)*d1
+		x := math.Exp(y)
+		if m.CCDF(x*(1-invVerifyEps)) >= u && u >= m.CCDF(x*(1+invVerifyEps)) {
+			return x
+		}
+	}
+	return m.refineBracket(u, lo, hi)
+}

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// invUGrid spans the table's range plus both fallback edges: above it
+// (u -> 1) and below uMin, where the pure bisection path must take over.
+var invUGrid = []float64{
+	1e-16, 1e-14, 1e-12, 1e-10, 1e-8, 1e-6, 1e-5, 1e-4,
+	1e-3, 0.01, 0.03, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999,
+}
+
+// TestMixtureInverseTableMatchesBisection pins the table-driven
+// QuantileCCDF to the reference bisection within 1e-9 relative, for
+// mixtures built over every law in laws().
+func TestMixtureInverseTableMatchesBisection(t *testing.T) {
+	base := ParetoWithMean(9.6, 1.5)
+	for _, d := range laws(t) {
+		m, err := NewMixture(
+			Component{Weight: 3, Dist: d},
+			Component{Weight: 1, Dist: base},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range invUGrid {
+			fast := m.QuantileCCDF(u)
+			ref := m.quantileBisect(u)
+			if diff := math.Abs(fast - ref); diff > 1e-9*math.Max(1, ref) {
+				t.Errorf("%s: QuantileCCDF(%g) = %.15g, bisection %.15g (rel %.2g)",
+					m, u, fast, ref, diff/ref)
+			}
+		}
+	}
+}
+
+// TestMixtureInverseTableWithSteps exercises the fallback on a step CCDF:
+// the interpolant cannot be verified across an Empirical component's
+// atoms, so the answer must come from the bracket refinement and satisfy
+// the same sandwich property as plain bisection.
+func TestMixtureInverseTableWithSteps(t *testing.T) {
+	m, err := NewMixture(
+		Component{Weight: 1, Dist: NewEmpirical([]float64{2, 2, 3, 7, 7, 7, 11, 40})},
+		Component{Weight: 1, Dist: ExponentialWithMean(1, 9.6)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range invUGrid {
+		fast := m.QuantileCCDF(u)
+		ref := m.quantileBisect(u)
+		if diff := math.Abs(fast - ref); diff > 1e-9*math.Max(1, ref) {
+			t.Errorf("steps: QuantileCCDF(%g) = %.15g, bisection %.15g", u, fast, ref)
+		}
+	}
+}
+
+// TestMixtureQuantileMonotone sweeps a dense grid through the table:
+// the inverse must stay non-increasing in u even across segment
+// boundaries and interpolation/bisection handoffs.
+func TestMixtureQuantileMonotone(t *testing.T) {
+	m, err := NewMixture(
+		Component{Weight: 3, Dist: ExponentialWithMean(1, 4)},
+		Component{Weight: 1, Dist: ParetoWithMean(40, 1.8)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for e := -14.0; e <= 0; e += 0.004 {
+		u := math.Pow(10, e)
+		x := m.QuantileCCDF(u)
+		if math.IsNaN(x) || x > prev*(1+1e-9) {
+			t.Fatalf("QuantileCCDF(%g) = %g rises above %g", u, x, prev)
+		}
+		prev = x
+	}
+}
+
+func BenchmarkMixtureQuantileCCDF(b *testing.B) {
+	m, _ := NewMixture(
+		Component{Weight: 3, Dist: ExponentialWithMean(1, 4)},
+		Component{Weight: 1, Dist: ParetoWithMean(40, 1.8)},
+	)
+	m.QuantileCCDF(0.5) // build the table outside the timing loop
+	us := []float64{1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.5, 0.9, 0.999}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.QuantileCCDF(us[i%len(us)])
+	}
+}
+
+func BenchmarkMixtureQuantileBisect(b *testing.B) {
+	m, _ := NewMixture(
+		Component{Weight: 3, Dist: ExponentialWithMean(1, 4)},
+		Component{Weight: 1, Dist: ParetoWithMean(40, 1.8)},
+	)
+	us := []float64{1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.5, 0.9, 0.999}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.quantileBisect(us[i%len(us)])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"flowrank/internal/randx"
 )
@@ -21,10 +22,18 @@ type Component struct {
 // traffic such as "mostly mice with a Pareto elephant class", the scenario
 // the flow-inversion literature (Clegg et al., Chabchoub et al.) swaps
 // under the same estimator machinery. Its CCDF is the weighted sum of the
-// component CCDFs; the quantile function is recovered by monotone
-// bisection between the component quantiles.
+// component CCDFs; the quantile function is recovered through a
+// precomputed monotone inverse-CCDF table (see invtable.go), falling back
+// to bracketed bisection where the table cannot vouch for the answer.
 type Mixture struct {
 	comps []Component
+
+	// inv is the lazily built inverse-CCDF table. Quantile-space
+	// integration (internal/core) calls QuantileCCDF millions of times
+	// per metric, which made the original per-call bisection the dominant
+	// cost of any model over a mixture.
+	invOnce sync.Once
+	inv     *invTable
 }
 
 // NewMixture builds a mixture from the components, normalizing their
@@ -60,12 +69,13 @@ func (m *Mixture) CCDF(x float64) float64 {
 	return s
 }
 
-// QuantileCCDF inverts the mixture CCDF by bisection. The root is
-// bracketed by the smallest and largest component quantiles at u: below
-// the smallest every component's CCDF is at least u, above the largest at
-// most u. Step-valued components (Empirical) can put the pseudo-inverse
-// slightly outside that bracket, so the bracket is widened until it
-// straddles u.
+// QuantileCCDF inverts the mixture CCDF. Inside the table's range the
+// precomputed inverse answers with one monotone-interpolation evaluation
+// plus a two-point verification; outside it, or when the verification
+// cannot vouch for the interpolant (step-valued components), it falls
+// back to bisection, bracketed by the table where possible. The result
+// agrees with direct bisection to within ~1e-9 relative (see
+// TestMixtureInverseTableMatchesBisection).
 func (m *Mixture) QuantileCCDF(u float64) float64 {
 	if u >= 1 {
 		lo := math.Inf(1)
@@ -77,14 +87,34 @@ func (m *Mixture) QuantileCCDF(u float64) float64 {
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64
 	}
-	lo, hi := math.Inf(1), math.Inf(-1)
+	t := m.invTable()
+	if t == nil || u < t.uMin {
+		return m.quantileBisect(u)
+	}
+	return t.quantile(m, u)
+}
+
+// quantileBisect is the reference inversion: monotone bisection between
+// the component quantiles. The root is bracketed by the smallest and
+// largest component quantiles at u: below the smallest every component's
+// CCDF is at least u, above the largest at most u. Step-valued components
+// (Empirical) can put the pseudo-inverse slightly outside that bracket,
+// so the bracket is widened until it straddles u.
+func (m *Mixture) quantileBisect(u float64) float64 {
+	lo, hi := m.quantileBracket(u)
+	return m.refineBracket(u, lo, hi)
+}
+
+// quantileBracket returns lo <= hi with CCDF(lo) >= u >= CCDF(hi).
+func (m *Mixture) quantileBracket(u float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, c := range m.comps {
 		q := c.Dist.QuantileCCDF(u)
 		lo = math.Min(lo, q)
 		hi = math.Max(hi, q)
 	}
 	if lo == hi {
-		return lo
+		return lo, hi
 	}
 	for i := 0; i < 64 && m.CCDF(lo) < u && lo > 0; i++ {
 		lo = lo/2 - 1
@@ -95,8 +125,13 @@ func (m *Mixture) QuantileCCDF(u float64) float64 {
 	for i := 0; i < 64 && m.CCDF(hi) > u; i++ {
 		hi = hi*2 + 1
 	}
-	// Monotone bisection: CCDF(lo) >= u >= CCDF(hi). 200 halvings reach
-	// full float64 resolution from any finite bracket.
+	return lo, hi
+}
+
+// refineBracket runs the monotone bisection CCDF(lo) >= u >= CCDF(hi)
+// down to full resolution. 200 halvings reach float64 resolution from
+// any finite bracket.
+func (m *Mixture) refineBracket(u, lo, hi float64) float64 {
 	for i := 0; i < 200 && hi-lo > 1e-12*(1+math.Abs(lo)); i++ {
 		mid := lo + (hi-lo)/2
 		if m.CCDF(mid) >= u {

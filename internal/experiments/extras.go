@@ -32,10 +32,10 @@ func extraKernels(opts Options) ([]*report.Table, error) {
 			"N=0.7M gauss", "N=0.7M hybrid",
 			"N=3.5M gauss", "N=3.5M hybrid"},
 	}
-	g07 := sprintModel(nFiveTuple, 10, meanPktsFiveTuple, defaultBeta)
+	g07 := sprintModel(opts, nFiveTuple, 10, meanPktsFiveTuple, defaultBeta)
 	h07 := g07
 	h07.Kernel = core.KernelHybrid
-	g35 := sprintModel(3_500_000, 10, meanPktsFiveTuple, defaultBeta)
+	g35 := sprintModel(opts, 3_500_000, 10, meanPktsFiveTuple, defaultBeta)
 	h35 := g35
 	h35.Kernel = core.KernelHybrid
 	for _, p := range rates {
@@ -240,7 +240,7 @@ func extraAdaptive(opts Options) ([]*report.Table, error) {
 	}
 	for _, tt := range []int{5, 10} {
 		for _, det := range []bool{false, true} {
-			ctl := adaptive.Controller{Target: 1, TopT: tt, Detection: det}
+			ctl := adaptive.Controller{Target: 1, TopT: tt, Detection: det, Workers: opts.Workers}
 			rate, model, err := ctl.Recommend(obs)
 			if err != nil {
 				return nil, err

@@ -19,12 +19,13 @@ const (
 	defaultBeta       = 1.5
 )
 
-func sprintModel(n, t int, meanPkts, beta float64) core.Model {
+func sprintModel(opts Options, n, t int, meanPkts, beta float64) core.Model {
 	return core.Model{
 		N:            n,
 		T:            t,
 		Dist:         dist.ParetoWithMean(meanPkts, beta),
 		PoissonTails: true,
+		Workers:      opts.Workers,
 	}
 }
 
@@ -136,7 +137,7 @@ func fig04(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(tSweep))
 	cols := make([]string, len(tSweep))
 	for i, tt := range tSweep {
-		models[i] = sprintModel(nFiveTuple, tt, meanPktsFiveTuple, defaultBeta)
+		models[i] = sprintModel(opts, nFiveTuple, tt, meanPktsFiveTuple, defaultBeta)
 		cols[i] = fmt.Sprintf("t=%d", tt)
 	}
 	t := metricSweep("fig04",
@@ -150,7 +151,7 @@ func fig05(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(tSweep))
 	cols := make([]string, len(tSweep))
 	for i, tt := range tSweep {
-		models[i] = sprintModel(nPrefix24, tt, meanPktsPrefix24, defaultBeta)
+		models[i] = sprintModel(opts, nPrefix24, tt, meanPktsPrefix24, defaultBeta)
 		cols[i] = fmt.Sprintf("t=%d", tt)
 	}
 	t := metricSweep("fig05",
@@ -167,7 +168,7 @@ func fig06(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(betaSweep))
 	cols := make([]string, len(betaSweep))
 	for i, b := range betaSweep {
-		models[i] = sprintModel(nFiveTuple, 10, meanPktsFiveTuple, b)
+		models[i] = sprintModel(opts, nFiveTuple, 10, meanPktsFiveTuple, b)
 		cols[i] = fmt.Sprintf("beta=%.2g", b)
 	}
 	t := metricSweep("fig06",
@@ -182,7 +183,7 @@ func fig07(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(betaSweep))
 	cols := make([]string, len(betaSweep))
 	for i, b := range betaSweep {
-		models[i] = sprintModel(nPrefix24, 10, meanPktsPrefix24, b)
+		models[i] = sprintModel(opts, nPrefix24, 10, meanPktsPrefix24, b)
 		cols[i] = fmt.Sprintf("beta=%.2g", b)
 	}
 	t := metricSweep("fig07",
@@ -197,7 +198,7 @@ func fig08(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(ns))
 	cols := make([]string, len(ns))
 	for i, n := range ns {
-		models[i] = sprintModel(n, 10, meanPktsFiveTuple, defaultBeta)
+		models[i] = sprintModel(opts, n, 10, meanPktsFiveTuple, defaultBeta)
 		cols[i] = fmt.Sprintf("N=%s", humanN(n))
 	}
 	t := metricSweep("fig08",
@@ -215,7 +216,7 @@ func fig09(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(ns))
 	cols := make([]string, len(ns))
 	for i, n := range ns {
-		models[i] = sprintModel(n, 10, meanPktsPrefix24, defaultBeta)
+		models[i] = sprintModel(opts, n, 10, meanPktsPrefix24, defaultBeta)
 		cols[i] = fmt.Sprintf("N=%s", humanN(n))
 	}
 	t := metricSweep("fig09",
@@ -229,7 +230,7 @@ func fig10(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(tSweep))
 	cols := make([]string, len(tSweep))
 	for i, tt := range tSweep {
-		models[i] = sprintModel(nFiveTuple, tt, meanPktsFiveTuple, defaultBeta)
+		models[i] = sprintModel(opts, nFiveTuple, tt, meanPktsFiveTuple, defaultBeta)
 		cols[i] = fmt.Sprintf("t=%d", tt)
 	}
 	t := metricSweep("fig10",
@@ -244,7 +245,7 @@ func fig11(opts Options) ([]*report.Table, error) {
 	models := make([]core.Model, len(tSweep))
 	cols := make([]string, len(tSweep))
 	for i, tt := range tSweep {
-		models[i] = sprintModel(nPrefix24, tt, meanPktsPrefix24, defaultBeta)
+		models[i] = sprintModel(opts, nPrefix24, tt, meanPktsPrefix24, defaultBeta)
 		cols[i] = fmt.Sprintf("t=%d", tt)
 	}
 	t := metricSweep("fig11",

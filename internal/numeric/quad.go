@@ -51,6 +51,11 @@ func adaptiveSimpsonAux(f Func1, a, b, fa, fm, fb, whole, tol float64, depth int
 // GaussLegendre integrates f over [a, b] with an n-point Gauss-Legendre
 // rule. Nodes and weights for commonly used orders are cached after the
 // first computation; arbitrary n >= 2 is supported.
+//
+// It is exactly GaussLegendreSum applied to f evaluated at GLPoint(a, b,
+// i, n) for each i, so callers that evaluate the nodes themselves (for
+// example in parallel) and reduce with GaussLegendreSum obtain the
+// bit-identical integral.
 func GaussLegendre(f Func1, a, b float64, n int) float64 {
 	nodes, weights := GLNodes(n)
 	halfLen := 0.5 * (b - a)
@@ -58,6 +63,27 @@ func GaussLegendre(f Func1, a, b float64, n int) float64 {
 	var s KahanSum
 	for i, x := range nodes {
 		s.Add(weights[i] * f(mid+halfLen*x))
+	}
+	return halfLen * s.Sum()
+}
+
+// GLPoint returns the i-th mapped node of the n-point Gauss-Legendre rule
+// on [a, b] — the abscissa GaussLegendre evaluates its integrand at.
+func GLPoint(a, b float64, i, n int) float64 {
+	nodes, _ := GLNodes(n)
+	return 0.5*(a+b) + 0.5*(b-a)*nodes[i]
+}
+
+// GaussLegendreSum reduces precomputed integrand values at the n mapped
+// nodes of [a, b] to the Gauss-Legendre integral, using the same
+// compensated summation order as GaussLegendre: the result is bit-equal
+// to GaussLegendre on an integrand returning those values.
+func GaussLegendreSum(a, b float64, vals []float64, n int) float64 {
+	_, weights := GLNodes(n)
+	halfLen := 0.5 * (b - a)
+	var s KahanSum
+	for i, w := range weights {
+		s.Add(w * vals[i])
 	}
 	return halfLen * s.Sum()
 }
