@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet fmt check race bench bench-smoke
+.PHONY: all build test short vet fmt check race bench bench-smoke e2e
 
 all: check
 
@@ -40,5 +40,10 @@ bench:
 
 # The subset CI's bench-smoke job runs, plus the machine-readable record.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets' -benchtime 1x
+	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine' -benchtime 1x
 	$(GO) run ./cmd/flowrank-bench -fig kernels -json
+
+# End-to-end flowtop cross-check: sequential vs sharded output must be
+# byte-identical on both trace formats (native and pcap).
+e2e:
+	./scripts/e2e_flowtop.sh

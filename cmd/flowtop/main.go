@@ -5,96 +5,116 @@
 // paper's swapped-pairs metrics. It can also export the sampled ranking as
 // NetFlow v5 datagrams.
 //
+// Ingestion runs on the sharded streaming engine (internal/stream): one
+// reader makes the sampling decisions in trace order and -workers shard
+// workers keep the flow tables. The output is bit-identical for any worker
+// count.
+//
 // Usage:
 //
 //	flowtop -in trace.pkts -p 0.01 -t 10 -bin 60
 //	flowtop -in trace.pcap -pcap -p 0.1 -t 5 -agg prefix24
-//	flowtop -in trace.pkts -p 0.01 -netflow flows.nf5
+//	flowtop -in trace.pkts -p 0.01 -netflow flows.nf5 -workers 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
+	"runtime"
 
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
 	"flowrank/internal/layers"
-	"flowrank/internal/metrics"
 	"flowrank/internal/netflow"
 	"flowrank/internal/packet"
 	"flowrank/internal/pcap"
 	"flowrank/internal/report"
 	"flowrank/internal/sampler"
+	"flowrank/internal/stream"
 )
+
+// options carries the parsed command line; run is separated from main so
+// the sequential-vs-sharded cross-check test can drive it in-process.
+type options struct {
+	in      string
+	isPcap  bool
+	rate    float64
+	topT    int
+	binSec  float64
+	aggName string
+	seed    uint64
+	nfOut   string
+	workers int
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowtop: ")
-	var (
-		in      = flag.String("in", "", "input trace (required)")
-		isPcap  = flag.Bool("pcap", false, "input is a pcap file")
-		rate    = flag.Float64("p", 0.01, "packet sampling probability")
-		topT    = flag.Int("t", 10, "top flows to report")
-		binSec  = flag.Float64("bin", 60, "measurement bin seconds")
-		aggName = flag.String("agg", "5tuple", "flow definition: 5tuple or prefix24")
-		seed    = flag.Uint64("seed", 1, "sampler seed")
-		nfOut   = flag.String("netflow", "", "write sampled ranking as NetFlow v5 datagrams")
-	)
+	var opts options
+	flag.StringVar(&opts.in, "in", "", "input trace (required)")
+	flag.BoolVar(&opts.isPcap, "pcap", false, "input is a pcap file")
+	flag.Float64Var(&opts.rate, "p", 0.01, "packet sampling probability")
+	flag.IntVar(&opts.topT, "t", 10, "top flows to report")
+	flag.Float64Var(&opts.binSec, "bin", 60, "measurement bin seconds")
+	flag.StringVar(&opts.aggName, "agg", "5tuple", "flow definition: 5tuple or prefix24")
+	flag.Uint64Var(&opts.seed, "seed", 1, "sampler seed")
+	flag.StringVar(&opts.nfOut, "netflow", "", "write sampled ranking as NetFlow v5 datagrams")
+	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "shard workers for the streaming engine")
 	flag.Parse()
-	if *in == "" {
-		log.Fatal("missing -in trace file")
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(opts options, stdout, stderr io.Writer) error {
+	if opts.in == "" {
+		return errors.New("missing -in trace file")
 	}
 	var agg flow.Aggregator = flow.FiveTuple{}
-	if *aggName == "prefix24" {
+	switch opts.aggName {
+	case "5tuple":
+	case "prefix24":
 		agg = flow.DstPrefix{Bits: 24}
-	} else if *aggName != "5tuple" {
-		log.Fatalf("unknown -agg %q", *aggName)
+	default:
+		return fmt.Errorf("unknown -agg %q", opts.aggName)
 	}
 
-	f, err := os.Open(*in)
+	f, err := os.Open(opts.in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 
-	next, err := openTrace(f, *isPcap)
+	next, err := openTrace(f, opts.isPcap)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	smp := sampler.NewBernoulli(*rate, *seed)
-	orig := flowtable.New(agg)
-	samp := flowtable.New(agg)
-	binIdx := 0
 	var nfRecords []netflow.Record
-
-	flush := func() {
-		if orig.Len() == 0 {
-			binIdx++ // empty bin: nothing to report
-			return
+	eng, err := stream.NewEngine(stream.Config{
+		Agg:        agg,
+		Sampler:    sampler.NewBernoulli(opts.rate, opts.seed),
+		BinSeconds: opts.binSec,
+		TopT:       opts.topT,
+		Workers:    opts.workers,
+	}, func(b stream.BinResult) error {
+		if err := printBin(stdout, b, opts.topT); err != nil {
+			return err
 		}
-		origSorted := orig.Entries()
-		sampled := make(map[flow.Key]int64, samp.Len())
-		for _, e := range samp.Entries() {
-			sampled[e.Key] = e.Packets
+		if opts.nfOut != "" {
+			for _, e := range b.SampledTop {
+				nfRecords = append(nfRecords, netflowRecord(e))
+			}
 		}
-		pc := metrics.CountSwapped(origSorted, sampled, *topT)
-		printBin(binIdx, *binSec, origSorted, samp, *topT, pc)
-		for _, e := range samp.Top(*topT) {
-			nfRecords = append(nfRecords, netflow.Record{
-				Key:         e.Key,
-				Packets:     uint32(e.Packets),
-				Octets:      uint32(e.Bytes),
-				FirstMillis: uint32(e.First * 1000),
-				LastMillis:  uint32(e.Last * 1000),
-			})
-		}
-		orig.Reset()
-		samp.Reset()
-		binIdx++
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	for {
@@ -103,24 +123,27 @@ func main() {
 			break
 		}
 		if err != nil {
-			log.Fatal(err)
+			// A corrupt trace must not report the half-ingested bin as if
+			// it were a complete measurement.
+			eng.Abort()
+			return err
 		}
-		for p.Time >= float64(binIdx+1)**binSec {
-			flush()
-		}
-		orig.Add(p)
-		if smp.Sample(p) {
-			samp.Add(p)
+		if err := eng.Feed(p); err != nil {
+			eng.Close()
+			return err
 		}
 	}
-	flush()
+	if err := eng.Close(); err != nil {
+		return err
+	}
 
-	if *nfOut != "" {
-		if err := writeNetflow(*nfOut, *rate, nfRecords); err != nil {
-			log.Fatal(err)
+	if opts.nfOut != "" {
+		if err := writeNetflow(opts.nfOut, opts.rate, nfRecords); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d NetFlow v5 records to %s\n", len(nfRecords), *nfOut)
+		fmt.Fprintf(stderr, "wrote %d NetFlow v5 records to %s\n", len(nfRecords), opts.nfOut)
 	}
+	return nil
 }
 
 // openTrace returns a packet iterator for either trace format.
@@ -152,45 +175,96 @@ func openTrace(f *os.File, isPcap bool) (func() (packet.Packet, error), error) {
 	}, nil
 }
 
-func printBin(binIdx int, binSec float64, origSorted []flowtable.Entry,
-	samp *flowtable.Table, topT int, pc metrics.PairCounts) {
+func printBin(w io.Writer, b stream.BinResult, topT int) error {
 	t := &report.Table{
-		ID: fmt.Sprintf("bin%d", binIdx),
-		Title: fmt.Sprintf("t=[%.0fs,%.0fs) %d flows, swapped pairs: ranking %d detection %d",
-			float64(binIdx)*binSec, float64(binIdx+1)*binSec, len(origSorted), pc.Ranking, pc.Detection),
+		ID: fmt.Sprintf("bin%d", b.Bin),
+		Title: fmt.Sprintf("t=[%.0fs,%.0fs) %d flows, swapped pairs: ranking %d (%.3g) detection %d (%.3g)",
+			b.Start, b.End, len(b.Orig),
+			b.Pairs.Ranking, b.Pairs.RankingFrac(),
+			b.Pairs.Detection, b.Pairs.DetectionFrac()),
 		Columns: []string{"rank", "true flow", "pkts", "sampled flow", "pkts"},
 	}
-	sampTop := samp.Top(topT)
 	for i := 0; i < topT; i++ {
 		row := make([]interface{}, 5)
 		row[0] = i + 1
-		if i < len(origSorted) {
-			row[1] = origSorted[i].Key.String()
-			row[2] = origSorted[i].Packets
+		if i < len(b.Orig) {
+			row[1] = b.Orig[i].Key.String()
+			row[2] = b.Orig[i].Packets
 		} else {
 			row[1], row[2] = "-", "-"
 		}
-		if i < len(sampTop) {
-			row[3] = sampTop[i].Key.String()
-			row[4] = sampTop[i].Packets
+		if i < len(b.SampledTop) {
+			row[3] = b.SampledTop[i].Key.String()
+			row[4] = b.SampledTop[i].Packets
 		} else {
 			row[3], row[4] = "-", "-"
 		}
 		t.AddRow(row...)
 	}
-	if err := t.Fprint(os.Stdout); err != nil {
-		log.Fatal(err)
+	return t.Fprint(w)
+}
+
+// netflowRecord converts a flow-table entry to a v5 record. The v5 counter
+// and timestamp fields are 32-bit; larger accounted values saturate at the
+// field maximum instead of silently wrapping around (or, for the float
+// timestamp conversions, producing implementation-defined garbage).
+func netflowRecord(e flowtable.Entry) netflow.Record {
+	return netflow.Record{
+		Key:         e.Key,
+		Packets:     sat32(e.Packets),
+		Octets:      sat32(e.Bytes),
+		FirstMillis: satMillis(e.First),
+		LastMillis:  satMillis(e.Last),
 	}
 }
 
-func writeNetflow(path string, rate float64, records []netflow.Record) error {
-	interval := uint16(1)
-	if rate > 0 && rate < 1 {
-		interval = uint16(1 / rate)
+// sat32 clamps a count to the uint32 range of the NetFlow v5 fields.
+func sat32(v int64) uint32 {
+	if v < 0 {
+		return 0
 	}
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// satMillis converts a second timestamp to the 32-bit millisecond fields,
+// clamping instead of letting an out-of-range float conversion corrupt
+// the export (uint32 overflows after ~49.7 days of trace time).
+func satMillis(seconds float64) uint32 {
+	ms := seconds * 1000
+	if !(ms > 0) { // negative or NaN
+		return 0
+	}
+	if ms >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(ms)
+}
+
+// samplingInterval maps a sampling probability to the v5 header's 1-in-N
+// field, clamped to the 14-bit range the format can carry (rates below
+// 1/16383 cannot be represented; exporting the nearest representable
+// interval beats the silent overflow uint16(1/rate) produced before).
+func samplingInterval(rate float64) uint16 {
+	if rate <= 0 || rate >= 1 {
+		return 1
+	}
+	n := math.Round(1 / rate)
+	if n < 1 {
+		n = 1
+	}
+	if n > netflow.MaxSamplingInterval {
+		n = netflow.MaxSamplingInterval
+	}
+	return uint16(n)
+}
+
+func writeNetflow(path string, rate float64, records []netflow.Record) error {
 	grams, err := netflow.Export(netflow.Header{
 		SamplingMode:     1,
-		SamplingInterval: interval,
+		SamplingInterval: samplingInterval(rate),
 	}, records)
 	if err != nil {
 		return err

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/layers"
+	"flowrank/internal/netflow"
+	"flowrank/internal/packet"
+	"flowrank/internal/packetgen"
+	"flowrank/internal/pcap"
+	"flowrank/internal/tracegen"
+)
+
+// writeTraces synthesizes one small Sprint-like trace in both on-disk
+// formats and returns the two paths.
+func writeTraces(t *testing.T) (native, pcapPath string) {
+	t.Helper()
+	cfg := tracegen.SprintFiveTuple(12, 5)
+	cfg.ArrivalRate = 80
+	records, err := tracegen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	native = filepath.Join(dir, "trace.pkts")
+	nf, err := os.Create(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := packet.NewWriter(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := packetgen.Stream(records, 6, w.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pcapPath = filepath.Join(dir, "trace.pcap")
+	pf, err := os.Create(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := pcap.NewWriter(pf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 0, 2048)
+	const overhead = layers.EthernetHeaderLen + layers.IPv4MinHeaderLen + layers.TCPMinHeaderLen
+	err = packetgen.Stream(records, 6, func(p packet.Packet) error {
+		payload := p.Size - overhead
+		if payload < 0 {
+			payload = 0
+		}
+		var ferr error
+		frame, ferr = layers.Frame(frame[:0], p.Key, payload, 0)
+		if ferr != nil {
+			return ferr
+		}
+		return pw.Write(pcap.Packet{Time: p.Time, Data: frame})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return native, pcapPath
+}
+
+// TestShardedMatchesSequential is the PR's acceptance cross-check: the
+// sharded engine (workers=N) must produce byte-identical bin reports and
+// NetFlow output to the sequential path (workers=1) on the same seeded
+// trace, for both input formats.
+func TestShardedMatchesSequential(t *testing.T) {
+	native, pcapPath := writeTraces(t)
+	dir := t.TempDir()
+	type variant struct {
+		in     string
+		isPcap bool
+	}
+	for _, v := range []variant{{native, false}, {pcapPath, true}} {
+		var outs []string
+		var nfs [][]byte
+		for _, workers := range []int{1, 4} {
+			nfPath := filepath.Join(dir, "out.nf5")
+			var stdout, stderr bytes.Buffer
+			opts := options{
+				in: v.in, isPcap: v.isPcap,
+				rate: 0.2, topT: 5, binSec: 4,
+				aggName: "5tuple", seed: 9,
+				nfOut: nfPath, workers: workers,
+			}
+			if err := run(opts, &stdout, &stderr); err != nil {
+				t.Fatalf("pcap=%v workers=%d: %v", v.isPcap, workers, err)
+			}
+			raw, err := os.ReadFile(nfPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, stdout.String())
+			nfs = append(nfs, raw)
+		}
+		if outs[0] != outs[1] {
+			t.Errorf("pcap=%v: sequential and sharded bin reports differ:\n--- workers=1\n%s\n--- workers=4\n%s",
+				v.isPcap, outs[0], outs[1])
+		}
+		if !bytes.Equal(nfs[0], nfs[1]) {
+			t.Errorf("pcap=%v: sequential and sharded NetFlow exports differ (%d vs %d bytes)",
+				v.isPcap, len(nfs[0]), len(nfs[1]))
+		}
+		if len(outs[0]) == 0 || len(nfs[0]) == 0 {
+			t.Fatalf("pcap=%v: degenerate run: no output", v.isPcap)
+		}
+	}
+}
+
+// TestCorruptTracePrintsNoPartialBin: a read error mid-bin must fail the
+// run without reporting the half-ingested bin as a complete measurement.
+func TestCorruptTracePrintsNoPartialBin(t *testing.T) {
+	native, _ := writeTraces(t)
+	raw, err := os.ReadFile(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-record: every packet of the 12 s trace lands in the huge
+	// first bin, so nothing must be printed before the error.
+	trunc := filepath.Join(t.TempDir(), "trunc.pkts")
+	if err := os.WriteFile(trunc, raw[:len(raw)/2-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	opts := options{
+		in: trunc, rate: 0.2, topT: 5, binSec: 1e6,
+		aggName: "5tuple", seed: 9, workers: 4,
+	}
+	if err := run(opts, &stdout, &stderr); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("partial bin reported despite read error:\n%s", stdout.String())
+	}
+}
+
+// TestNetflowRecordSaturates: counters beyond the 32-bit v5 fields must
+// clamp at the field maximum, not wrap around.
+func TestNetflowRecordSaturates(t *testing.T) {
+	e := flowtable.Entry{
+		Key:     flow.Key{Src: flow.Addr{1, 2, 3, 4}},
+		Packets: int64(math.MaxUint32) + 12345,
+		Bytes:   1 << 40,
+		First:   1.5,
+		Last:    2.25,
+	}
+	r := netflowRecord(e)
+	if r.Packets != math.MaxUint32 {
+		t.Errorf("Packets = %d, want saturation at %d", r.Packets, uint32(math.MaxUint32))
+	}
+	if r.Octets != math.MaxUint32 {
+		t.Errorf("Octets = %d, want saturation at %d", r.Octets, uint32(math.MaxUint32))
+	}
+	small := flowtable.Entry{Key: e.Key, Packets: 7, Bytes: 900, First: 1, Last: 2}
+	rs := netflowRecord(small)
+	if rs.Packets != 7 || rs.Octets != 900 || rs.FirstMillis != 1000 || rs.LastMillis != 2000 {
+		t.Errorf("in-range record mangled: %+v", rs)
+	}
+	// Timestamps past the 32-bit millisecond range (~49.7 days) must clamp
+	// too: an out-of-range float-to-uint32 conversion is undefined.
+	far := flowtable.Entry{Key: e.Key, Packets: 1, Bytes: 1, First: 1e15, Last: 1e15}
+	rf := netflowRecord(far)
+	if rf.FirstMillis != math.MaxUint32 || rf.LastMillis != math.MaxUint32 {
+		t.Errorf("far timestamps: First=%d Last=%d, want saturation", rf.FirstMillis, rf.LastMillis)
+	}
+	if got := netflowRecord(flowtable.Entry{Key: e.Key, First: -1, Last: -1}); got.FirstMillis != 0 {
+		t.Errorf("negative timestamp: %d, want 0", got.FirstMillis)
+	}
+}
+
+// TestSamplingIntervalClamps: rates below 1/16383 must clamp to the 14-bit
+// maximum instead of overflowing uint16(1/rate).
+func TestSamplingIntervalClamps(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want uint16
+	}{
+		{0.01, 100},
+		{1.0 / 65536, netflow.MaxSamplingInterval}, // overflowed to 0 before
+		{1e-9, netflow.MaxSamplingInterval},
+		{1, 1},
+		{0, 1},
+		{0.3, 3},
+	}
+	for _, c := range cases {
+		if got := samplingInterval(c.rate); got != c.want {
+			t.Errorf("samplingInterval(%g) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+// TestWriteNetflowTinyRate: the full export path must succeed at rates the
+// 14-bit field cannot represent, recording the clamped interval.
+func TestWriteNetflowTinyRate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.nf5")
+	rec := netflowRecord(flowtable.Entry{Key: flow.Key{Src: flow.Addr{9, 9, 9, 9}}, Packets: 3, Bytes: 300})
+	if err := writeNetflow(path, 1.0/100000, []netflow.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, recs, err := netflow.DecodeDatagram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.SamplingInterval != netflow.MaxSamplingInterval {
+		t.Errorf("interval %d, want clamp at %d", hdr.SamplingInterval, netflow.MaxSamplingInterval)
+	}
+	if len(recs) != 1 || recs[0].Packets != 3 {
+		t.Errorf("records %+v", recs)
+	}
+}

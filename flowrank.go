@@ -37,6 +37,7 @@ import (
 	"flowrank/internal/sampler"
 	"flowrank/internal/seqest"
 	"flowrank/internal/sim"
+	"flowrank/internal/stream"
 	"flowrank/internal/tracegen"
 )
 
@@ -242,6 +243,42 @@ func NewFlowTable(agg Aggregator) *FlowTable { return flowtable.New(agg) }
 // NewBoundedFlowTable returns a table with a fixed number of slots.
 func NewBoundedFlowTable(agg Aggregator, capacity int) *BoundedFlowTable {
 	return flowtable.NewBounded(agg, capacity)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming monitor (sharded ingestion engine)
+
+// StreamConfig configures the sharded streaming monitor: aggregation,
+// sampler, bin width, top-list length, worker count.
+type StreamConfig = stream.Config
+
+// StreamBin is the merged measurement of one non-empty bin: the full
+// original ranking, the exact sampled top list, and the paper's
+// swapped-pair metrics.
+type StreamBin = stream.BinResult
+
+// StreamEngine is a running streaming monitor; Feed it packets in trace
+// order and Close it. Output is bit-identical for any worker count.
+type StreamEngine = stream.Engine
+
+// NewStreamEngine starts a streaming monitor that calls emit once per
+// non-empty measurement bin, in bin order.
+func NewStreamEngine(cfg StreamConfig, emit func(StreamBin) error) (*StreamEngine, error) {
+	return stream.NewEngine(cfg, emit)
+}
+
+// StreamRank runs a flow-level trace through packet expansion and the
+// streaming monitor in one call: GenerateTrace → StreamPackets → engine.
+func StreamRank(records []FlowRecord, seed uint64, cfg StreamConfig, emit func(StreamBin) error) error {
+	eng, err := stream.NewEngine(cfg, emit)
+	if err != nil {
+		return err
+	}
+	if err := packetgen.Stream(records, seed, eng.Feed); err != nil {
+		eng.Close()
+		return err
+	}
+	return eng.Close()
 }
 
 // ---------------------------------------------------------------------------

@@ -198,3 +198,63 @@ func TestMetricsFacade(t *testing.T) {
 		t.Errorf("ranking = %d, want 1 (top flow under-sampled)", pc.Ranking)
 	}
 }
+
+// TestStreamFacade runs the sharded streaming monitor through the public
+// facade and checks the bins against the packet stream it consumed, plus
+// the worker-count invariance contract.
+func TestStreamFacade(t *testing.T) {
+	cfg := SprintFiveTuple(10, 31)
+	cfg.ArrivalRate = 120
+	records, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := StreamPackets(records, 8, func(Packet) error { total++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	collect := func(workers int) []StreamBin {
+		var bins []StreamBin
+		err := StreamRank(records, 8, StreamConfig{
+			Agg:        FiveTuple{},
+			Sampler:    NewBernoulli(0.2, 3),
+			BinSeconds: 2.5,
+			TopT:       5,
+			Workers:    workers,
+		}, func(b StreamBin) error {
+			bins = append(bins, b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bins
+	}
+	seq := collect(1)
+	shard := collect(4)
+	if len(seq) == 0 {
+		t.Fatal("no bins emitted")
+	}
+	var binned int64
+	for _, b := range seq {
+		binned += b.OrigPackets
+		if len(b.SampledTop) > 5 {
+			t.Fatalf("bin %d: top list has %d entries", b.Bin, len(b.SampledTop))
+		}
+		if b.Pairs.RankingFrac() < 0 || b.Pairs.RankingFrac() > 1 {
+			t.Fatalf("bin %d: ranking fraction %g", b.Bin, b.Pairs.RankingFrac())
+		}
+	}
+	if binned != total {
+		t.Fatalf("bins account %d packets, stream had %d", binned, total)
+	}
+	if len(seq) != len(shard) {
+		t.Fatalf("worker counts disagree: %d vs %d bins", len(seq), len(shard))
+	}
+	for i := range seq {
+		if seq[i].Bin != shard[i].Bin || seq[i].Pairs != shard[i].Pairs ||
+			seq[i].OrigPackets != shard[i].OrigPackets {
+			t.Fatalf("bin %d diverges across worker counts", seq[i].Bin)
+		}
+	}
+}

@@ -68,17 +68,24 @@ func New(agg flow.Aggregator) *Table {
 
 // Add accounts one packet.
 func (t *Table) Add(p packet.Packet) {
-	k := t.agg.Aggregate(p.Key)
-	e, ok := t.entries[k]
+	t.AddAggregated(t.agg.Aggregate(p.Key), p.Time, int64(p.Size))
+}
+
+// AddAggregated accounts one packet whose flow key has already been
+// aggregated, bypassing the table's aggregator. It is the shard-worker
+// entry point of the streaming engine, whose reader stage aggregates each
+// key once to pick the shard.
+func (t *Table) AddAggregated(key flow.Key, time float64, size int64) {
+	e, ok := t.entries[key]
 	if !ok {
-		e = &Entry{Key: k, First: p.Time}
-		t.entries[k] = e
+		e = &Entry{Key: key, First: time}
+		t.entries[key] = e
 	}
 	e.Packets++
-	e.Bytes += int64(p.Size)
-	e.Last = p.Time
+	e.Bytes += size
+	e.Last = time
 	t.packets++
-	t.bytesT += int64(p.Size)
+	t.bytesT += size
 }
 
 // AddCount accounts an aggregate observation: pkts packets and byteCount
@@ -115,6 +122,16 @@ func (t *Table) Lookup(key flow.Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	return *e, true
+}
+
+// Counts returns the table's packet counts keyed by flow — the map shape
+// metrics.CountSwapped consumes.
+func (t *Table) Counts() map[flow.Key]int64 {
+	out := make(map[flow.Key]int64, len(t.entries))
+	for k, e := range t.entries {
+		out[k] = e.Packets
+	}
+	return out
 }
 
 // Reset clears the table for the next measurement bin.
@@ -162,6 +179,81 @@ func (t *Table) Top(k int) []Entry {
 		out[i] = heap.Pop(&h).(Entry)
 	}
 	return out
+}
+
+// MergeEntries k-way merges entry lists that are already in the canonical
+// ranking order (as produced by Entries or Top) into one sorted list.
+// Entries are not coalesced by key: the intended callers merge shard
+// tables, whose key spaces are disjoint by construction.
+func MergeEntries(lists ...[]Entry) []Entry {
+	return mergeSorted(-1, lists)
+}
+
+// MergeTop merges canonically sorted per-shard top lists and returns the
+// global top-k. When every input holds its shard's exact top-k and the
+// shards partition the key space, the result is the exact global top-k:
+// any globally top-k flow is top-k within its own shard.
+func MergeTop(k int, lists ...[]Entry) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	return mergeSorted(k, lists)
+}
+
+// mergeSorted merges sorted lists, stopping after limit entries
+// (limit < 0 means merge everything).
+func mergeSorted(limit int, lists [][]Entry) []Entry {
+	h := make(mergeHeap, 0, len(lists))
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			h = append(h, mergeCursor{list: l})
+			total += len(l)
+		}
+	}
+	if limit >= 0 && total > limit {
+		total = limit
+	}
+	if len(h) == 1 {
+		return append([]Entry(nil), h[0].list[:total]...)
+	}
+	heap.Init(&h)
+	out := make([]Entry, 0, total)
+	for len(h) > 0 && len(out) < total {
+		c := &h[0]
+		out = append(out, c.list[c.pos])
+		c.pos++
+		if c.pos == len(c.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// mergeCursor walks one sorted list inside the k-way merge.
+type mergeCursor struct {
+	list []Entry
+	pos  int
+}
+
+// mergeHeap keeps the cursor with the highest-ranked pending entry at the
+// root.
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return Less(h[i].list[h[i].pos], h[j].list[h[j].pos])
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // entryMinHeap keeps the currently-lowest-ranked entry at the root.

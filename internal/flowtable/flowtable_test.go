@@ -224,3 +224,106 @@ func BenchmarkBoundedAdd(b *testing.B) {
 		tab.Add(pkts[i&4095])
 	}
 }
+
+func TestAddAggregatedMatchesAdd(t *testing.T) {
+	g := randx.New(11)
+	agg := flow.DstPrefix{Bits: 24}
+	direct := New(agg)
+	pre := New(agg)
+	for i := 0; i < 500; i++ {
+		p := pkt(byte(g.IntN(40)), 40+g.IntN(1400), float64(i)*0.01)
+		p.Key.Dst[3] = byte(g.IntN(256))
+		direct.Add(p)
+		pre.AddAggregated(agg.Aggregate(p.Key), p.Time, int64(p.Size))
+	}
+	if direct.Len() != pre.Len() || direct.TotalPackets() != pre.TotalPackets() ||
+		direct.TotalBytes() != pre.TotalBytes() {
+		t.Fatalf("totals diverge: %d/%d/%d vs %d/%d/%d",
+			direct.Len(), direct.TotalPackets(), direct.TotalBytes(),
+			pre.Len(), pre.TotalPackets(), pre.TotalBytes())
+	}
+	de, pe := direct.Entries(), pre.Entries()
+	for i := range de {
+		if de[i] != pe[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, de[i], pe[i])
+		}
+	}
+}
+
+// TestMergeShardedEntries is the engine's merge contract: shard a table by
+// key hash, then MergeEntries/MergeTop over per-shard sorted lists must
+// reproduce the whole table's Entries/Top exactly.
+func TestMergeShardedEntries(t *testing.T) {
+	const workers = 4
+	whole := New(flow.FiveTuple{})
+	shards := make([]*Table, workers)
+	for i := range shards {
+		shards[i] = New(flow.FiveTuple{})
+	}
+	g := randx.New(77)
+	for i := 0; i < 3000; i++ {
+		p := pkt(byte(g.IntN(120)), 40+g.IntN(1000), float64(i)*1e-3)
+		p.Key.SrcPort = uint16(g.IntN(200))
+		whole.Add(p)
+		shards[p.Key.FastHash()%workers].Add(p)
+	}
+	lists := make([][]Entry, workers)
+	tops := make([][]Entry, workers)
+	for i, s := range shards {
+		lists[i] = s.Entries()
+		tops[i] = s.Top(10)
+	}
+	want := whole.Entries()
+	got := MergeEntries(lists...)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	wantTop := whole.Top(10)
+	gotTop := MergeTop(10, tops...)
+	if len(gotTop) != len(wantTop) {
+		t.Fatalf("merged top has %d entries, want %d", len(gotTop), len(wantTop))
+	}
+	for i := range wantTop {
+		if gotTop[i] != wantTop[i] {
+			t.Fatalf("top %d: %+v, want %+v", i, gotTop[i], wantTop[i])
+		}
+	}
+}
+
+func TestMergeEntriesEdgeCases(t *testing.T) {
+	if got := MergeEntries(); got != nil && len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+	one := []Entry{{Packets: 3}, {Packets: 1}}
+	got := MergeEntries(nil, one, nil)
+	if len(got) != 2 || got[0].Packets != 3 {
+		t.Fatalf("single-list merge = %v", got)
+	}
+	// The single-list fast path must copy, not alias.
+	got[0].Packets = 99
+	if one[0].Packets != 3 {
+		t.Fatal("merge aliased its input")
+	}
+	if got := MergeTop(0, one); got != nil {
+		t.Fatalf("MergeTop(0) = %v", got)
+	}
+	if got := MergeTop(1, one, []Entry{{Packets: 7}}); len(got) != 1 || got[0].Packets != 7 {
+		t.Fatalf("MergeTop(1) = %v", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tab := New(flow.FiveTuple{})
+	tab.Add(pkt(1, 100, 0))
+	tab.Add(pkt(1, 100, 1))
+	tab.Add(pkt(2, 100, 2))
+	counts := tab.Counts()
+	if len(counts) != 2 || counts[pkt(1, 0, 0).Key] != 2 || counts[pkt(2, 0, 0).Key] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+}

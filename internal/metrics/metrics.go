@@ -38,6 +38,25 @@ type PairCounts struct {
 	Pairs, BoundaryPairs int64
 }
 
+// RankingFrac returns the ranking metric normalized by its pair total, in
+// [0, 1] — the quantity the paper's figures plot. It is 0 for bins with no
+// countable pairs.
+func (p PairCounts) RankingFrac() float64 {
+	if p.Pairs == 0 {
+		return 0
+	}
+	return float64(p.Ranking) / float64(p.Pairs)
+}
+
+// DetectionFrac returns the detection metric normalized by the boundary
+// pair total, in [0, 1]; 0 for bins with no boundary pairs.
+func (p PairCounts) DetectionFrac() float64 {
+	if p.BoundaryPairs == 0 {
+		return 0
+	}
+	return float64(p.Detection) / float64(p.BoundaryPairs)
+}
+
 // CountSwapped computes both metrics for one bin.
 //
 // orig must hold every flow of the bin sorted by flowtable.Less (packet

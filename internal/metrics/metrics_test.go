@@ -273,3 +273,17 @@ func BenchmarkCountSwapped(b *testing.B) {
 		_ = CountSwapped(entries, m, 10)
 	}
 }
+
+func TestPairCountFractions(t *testing.T) {
+	var zero PairCounts
+	if zero.RankingFrac() != 0 || zero.DetectionFrac() != 0 {
+		t.Fatalf("zero-pair fractions: %g, %g", zero.RankingFrac(), zero.DetectionFrac())
+	}
+	pc := PairCounts{Ranking: 3, Detection: 1, Pairs: 12, BoundaryPairs: 4}
+	if got := pc.RankingFrac(); got != 0.25 {
+		t.Errorf("RankingFrac = %g, want 0.25", got)
+	}
+	if got := pc.DetectionFrac(); got != 0.25 {
+		t.Errorf("DetectionFrac = %g, want 0.25", got)
+	}
+}

@@ -23,6 +23,11 @@ const (
 	HeaderLen         = 24
 	RecordLen         = 48
 	MaxRecordsPerPack = 30
+	// MaxSamplingInterval is the largest 1-in-N sampling interval the
+	// 14-bit header field can carry; MaxSamplingMode the largest value of
+	// its 2-bit mode companion.
+	MaxSamplingInterval = 1<<14 - 1
+	MaxSamplingMode     = 1<<2 - 1
 )
 
 // Errors.
@@ -61,10 +66,22 @@ type Record struct {
 }
 
 // AppendDatagram serializes one datagram with the given records (at most
-// MaxRecordsPerPack) onto buf.
+// MaxRecordsPerPack) onto buf. Sampling fields outside their bit widths
+// (SamplingInterval over 14 bits, SamplingMode over 2) are an error, not a
+// silent mask: a masked interval would misdeclare the sampling rate to
+// every consumer of the export — the export-accuracy failure mode of
+// Haddadi et al.
 func AppendDatagram(buf []byte, hdr Header, records []Record) ([]byte, error) {
 	if len(records) > MaxRecordsPerPack {
 		return nil, fmt.Errorf("netflow: %d records exceed the v5 limit of %d", len(records), MaxRecordsPerPack)
+	}
+	if hdr.SamplingInterval > MaxSamplingInterval {
+		return nil, fmt.Errorf("netflow: sampling interval %d exceeds the 14-bit field maximum %d",
+			hdr.SamplingInterval, MaxSamplingInterval)
+	}
+	if hdr.SamplingMode > MaxSamplingMode {
+		return nil, fmt.Errorf("netflow: sampling mode %d exceeds the 2-bit field maximum %d",
+			hdr.SamplingMode, MaxSamplingMode)
 	}
 	buf = binary.BigEndian.AppendUint16(buf, Version)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(records)))
@@ -73,7 +90,7 @@ func AppendDatagram(buf []byte, hdr Header, records []Record) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, hdr.UnixNsecs)
 	buf = binary.BigEndian.AppendUint32(buf, hdr.FlowSequence)
 	buf = append(buf, hdr.EngineType, hdr.EngineID)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(hdr.SamplingMode)<<14|hdr.SamplingInterval&0x3fff)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(hdr.SamplingMode)<<14|hdr.SamplingInterval)
 	for _, r := range records {
 		buf = append(buf, r.Key.Src[:]...)
 		buf = append(buf, r.Key.Dst[:]...)

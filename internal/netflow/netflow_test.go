@@ -116,3 +116,122 @@ func TestExportSplitsAndSequences(t *testing.T) {
 		t.Errorf("total records %d", total)
 	}
 }
+
+// TestHeaderSamplingExtremes round-trips every sampling mode against the
+// field extremes: the 2-bit mode and 14-bit interval must survive encoding
+// exactly, with no cross-contamination inside their shared uint16.
+func TestHeaderSamplingExtremes(t *testing.T) {
+	for mode := uint8(0); mode <= MaxSamplingMode; mode++ {
+		for _, interval := range []uint16{0, 1, 100, MaxSamplingInterval} {
+			hdr := Header{SamplingMode: mode, SamplingInterval: interval}
+			buf, err := AppendDatagram(nil, hdr, nil)
+			if err != nil {
+				t.Fatalf("mode %d interval %d: %v", mode, interval, err)
+			}
+			got, _, err := DecodeDatagram(buf)
+			if err != nil {
+				t.Fatalf("mode %d interval %d: %v", mode, interval, err)
+			}
+			if got.SamplingMode != mode || got.SamplingInterval != interval {
+				t.Errorf("round trip (%d, %d) -> (%d, %d)",
+					mode, interval, got.SamplingMode, got.SamplingInterval)
+			}
+		}
+	}
+}
+
+// TestSamplingFieldValidation: out-of-range sampling fields must be an
+// encoding error, never a silent mask.
+func TestSamplingFieldValidation(t *testing.T) {
+	if _, err := AppendDatagram(nil, Header{SamplingInterval: MaxSamplingInterval + 1}, nil); err == nil {
+		t.Error("interval over 14 bits accepted")
+	}
+	if _, err := AppendDatagram(nil, Header{SamplingMode: MaxSamplingMode + 1}, nil); err == nil {
+		t.Error("mode over 2 bits accepted")
+	}
+	// Export must propagate the same validation.
+	if _, err := Export(Header{SamplingInterval: 0xffff}, sampleRecords(2)); err == nil {
+		t.Error("Export masked an invalid sampling interval")
+	}
+}
+
+// TestRecordPadBytes pins the two pad fields of the 48-byte record layout
+// (offset 36, and offsets 46–47) to zero even when every neighbouring
+// field is saturated.
+func TestRecordPadBytes(t *testing.T) {
+	rec := Record{
+		Key: flow.Key{
+			Src: flow.Addr{255, 255, 255, 255}, Dst: flow.Addr{255, 255, 255, 255},
+			SrcPort: 0xffff, DstPort: 0xffff, Proto: 0xff,
+		},
+		NextHop:   flow.Addr{255, 255, 255, 255},
+		InputSNMP: 0xffff, OutputSNMP: 0xffff,
+		Packets: 0xffffffff, Octets: 0xffffffff,
+		FirstMillis: 0xffffffff, LastMillis: 0xffffffff,
+		TCPFlags: 0xff, TOS: 0xff,
+		SrcAS: 0xffff, DstAS: 0xffff, SrcMask: 0xff, DstMask: 0xff,
+	}
+	buf, err := AppendDatagram(nil, Header{}, []Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := buf[HeaderLen:]
+	for _, off := range []int{36, 46, 47} {
+		if raw[off] != 0 {
+			t.Errorf("pad byte at record offset %d = %#x, want 0", off, raw[off])
+		}
+	}
+	// Everything else must survive the round trip.
+	_, recs, err := DecodeDatagram(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0] != rec {
+		t.Errorf("saturated record round trip: got %+v", recs[0])
+	}
+}
+
+// TestExportDecodeProperty: for any record count, decoding the exported
+// datagrams must reproduce the input records exactly, with correct
+// per-datagram counts and a monotone flow sequence.
+func TestExportDecodeProperty(t *testing.T) {
+	for _, n := range []int{0, 1, 29, 30, 31, 59, 60, 61, 90, 137} {
+		recs := sampleRecords(n)
+		hdr := Header{SamplingMode: 2, SamplingInterval: MaxSamplingInterval, FlowSequence: 42}
+		grams, err := Export(hdr, recs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantGrams := (n + MaxRecordsPerPack - 1) / MaxRecordsPerPack
+		if len(grams) != wantGrams {
+			t.Fatalf("n=%d: %d datagrams, want %d", n, len(grams), wantGrams)
+		}
+		var back []Record
+		seq := uint32(42)
+		for i, g := range grams {
+			gh, rs, err := DecodeDatagram(g)
+			if err != nil {
+				t.Fatalf("n=%d datagram %d: %v", n, i, err)
+			}
+			if gh.FlowSequence != seq {
+				t.Errorf("n=%d datagram %d: sequence %d, want %d", n, i, gh.FlowSequence, seq)
+			}
+			if gh.SamplingMode != 2 || gh.SamplingInterval != MaxSamplingInterval {
+				t.Errorf("n=%d datagram %d: sampling fields %d/%d lost", n, i, gh.SamplingMode, gh.SamplingInterval)
+			}
+			if len(rs) > MaxRecordsPerPack {
+				t.Errorf("n=%d datagram %d: %d records", n, i, len(rs))
+			}
+			seq += uint32(len(rs))
+			back = append(back, rs...)
+		}
+		if len(back) != n {
+			t.Fatalf("n=%d: decoded %d records", n, len(back))
+		}
+		for i := range back {
+			if back[i] != recs[i] {
+				t.Fatalf("n=%d record %d mismatch", n, i)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Link types.
@@ -83,9 +84,25 @@ func (w *Writer) Write(p Packet) error {
 	if origLen < len(p.Data) {
 		origLen = len(p.Data)
 	}
-	sec := uint32(p.Time)
-	usec := uint32((p.Time - float64(sec)) * 1e6)
-	binary.LittleEndian.PutUint32(w.hdr[0:], sec)
+	// The record header carries unsigned 32-bit seconds: timestamps
+	// outside [0, 2^32) are an error, not an implementation-defined
+	// float conversion silently corrupting the capture.
+	if !(p.Time >= 0 && p.Time < 1<<32) {
+		return fmt.Errorf("pcap: timestamp %g outside the representable range [0, 2^32)", p.Time)
+	}
+	sec := uint64(p.Time)
+	// Round the fraction to the nearest microsecond (truncation loses up
+	// to 1 µs: 0.3 s would encode as 299999 µs). Rounding can land exactly
+	// on 1_000_000 — an invalid pcap timestamp — so carry into seconds.
+	usec := uint32(math.Round((p.Time - float64(sec)) * 1e6))
+	if usec >= 1e6 {
+		sec++
+		usec -= 1e6
+	}
+	if sec > math.MaxUint32 {
+		return fmt.Errorf("pcap: timestamp %g rounds past the representable range [0, 2^32)", p.Time)
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:], uint32(sec))
 	binary.LittleEndian.PutUint32(w.hdr[4:], usec)
 	binary.LittleEndian.PutUint32(w.hdr[8:], uint32(len(data)))
 	binary.LittleEndian.PutUint32(w.hdr[12:], uint32(origLen))

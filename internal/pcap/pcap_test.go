@@ -164,3 +164,85 @@ func TestOversizeRecordRejected(t *testing.T) {
 		t.Error("oversize record accepted")
 	}
 }
+
+// TestWriteMicrosecondBoundary pins the timestamp encoding at the points
+// float arithmetic gets wrong: fractions that round up to a full second
+// must carry (usec == 1_000_000 is not a valid pcap timestamp), and
+// fractions like 0.3 whose float image is just below the true value must
+// round, not truncate.
+func TestWriteMicrosecondBoundary(t *testing.T) {
+	cases := []struct {
+		time     float64
+		sec, use uint32
+	}{
+		{1.9999999, 2, 0},      // rounds to 1e6 µs: carry into seconds
+		{0.99999999, 1, 0},     // same carry from below one second
+		{0.3, 0, 300000},       // truncation would give 299999
+		{1234.000001, 1234, 1}, // tiny fraction survives
+		{7, 7, 0},              // integral second stays put
+		{2.5, 2, 500000},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Packet{Time: c.time, Data: []byte{1, 2, 3}}); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()[globalHeaderLen:]
+		sec := binary.LittleEndian.Uint32(raw[0:4])
+		usec := binary.LittleEndian.Uint32(raw[4:8])
+		if sec != c.sec || usec != c.use {
+			t.Errorf("time %v encoded as sec=%d usec=%d, want sec=%d usec=%d",
+				c.time, sec, usec, c.sec, c.use)
+		}
+		if usec >= 1000000 {
+			t.Errorf("time %v produced invalid usec %d", c.time, usec)
+		}
+		// The decoded timestamp must be within half a microsecond.
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Time-c.time) > 5e-7 {
+			t.Errorf("time %v round-tripped to %v", c.time, p.Time)
+		}
+	}
+}
+
+// TestWriteTimestampOutOfRange: times the 32-bit seconds field cannot
+// carry must be a write error, not an implementation-defined conversion
+// silently corrupting the capture.
+func TestWriteTimestampOutOfRange(t *testing.T) {
+	for _, bad := range []float64{-1, -1e-7, float64(uint64(1) << 32), 1e15, math.NaN(), math.Inf(1)} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Packet{Time: bad, Data: []byte{1}}); err == nil {
+			t.Errorf("time %v accepted", bad)
+		}
+	}
+	// The carry at the very top of the range must not wrap to 0.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := math.Nextafter(float64(uint64(1)<<32), 0) // largest float64 below 2^32
+	if err := w.Write(Packet{Time: edge, Data: []byte{1}}); err == nil {
+		raw := buf.Bytes()[globalHeaderLen:]
+		sec := binary.LittleEndian.Uint32(raw[0:4])
+		usec := binary.LittleEndian.Uint32(raw[4:8])
+		if sec != math.MaxUint32 || usec >= 1000000 {
+			t.Errorf("edge time encoded as sec=%d usec=%d", sec, usec)
+		}
+	}
+}

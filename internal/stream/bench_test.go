@@ -1,0 +1,44 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/sampler"
+)
+
+// BenchmarkEngine measures ingestion throughput of the sharded engine on a
+// multi-bin trace across worker counts. On a multi-core machine the
+// packets/s metric should scale near-linearly until the single-threaded
+// reader stage saturates; on a single-core machine the worker counts tie
+// (parallelism cannot beat the core count, only the algorithmic wins
+// remain).
+func BenchmarkEngine(b *testing.B) {
+	pkts := makePackets(b, 30, 400, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := NewEngine(Config{
+					Agg:        flow.FiveTuple{},
+					Sampler:    sampler.NewBernoulli(0.1, 7),
+					BinSeconds: 5,
+					TopT:       10,
+					Workers:    workers,
+				}, func(BinResult) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range pkts {
+					if err := eng.Feed(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(pkts))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}

@@ -1,0 +1,422 @@
+// Package stream implements the monitor half of the paper as a concurrent
+// subsystem: a sharded, pipelined packet-ingestion engine that samples,
+// classifies and ranks flows per measurement bin, the way the link monitor
+// of §8 operates but scaled across cores.
+//
+// Stage 1 — the caller's goroutine inside Feed — makes every sampling
+// decision in trace order, so the sampler's decision stream is exactly the
+// one the sequential monitor would draw. Packets are then batched and
+// dispatched to W shard workers by hash of the aggregated flow key; each
+// shard owns its own original/sampled flowtable.Table pair, so the hot
+// path takes no locks and shares no state. At each bin boundary a barrier
+// flushes every shard; the per-shard sorted entry lists and Top lists are
+// k-way merged (exact, because the shards partition the key space) into
+// one BinResult carrying the paper's §5/§7 swapped-pair metrics.
+//
+// The engine is bit-identical to the sequential path for any worker count:
+// with Workers == 1 no goroutines are started and packets are accounted
+// inline, and the cross-check tests pin Workers == N to that output
+// exactly, in the same spirit as the model engine's Workers=1-vs-N tests.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/metrics"
+	"flowrank/internal/packet"
+	"flowrank/internal/sampler"
+)
+
+// Config describes one streaming run.
+type Config struct {
+	// Agg classifies packets into the flows being ranked. Required.
+	Agg flow.Aggregator
+	// Sampler makes the per-packet keep/drop decision. It is called once
+	// per packet in trace order from the Feed goroutine. Required.
+	Sampler sampler.Sampler
+	// BinSeconds is the measurement bin width. Required, positive.
+	BinSeconds float64
+	// TopT is the length of the ranked top list in every BinResult.
+	TopT int
+	// Workers is the number of shard workers; 0 means GOMAXPROCS. With 1
+	// worker the engine runs the sequential reference path inline.
+	Workers int
+	// BatchSize is the number of packets dispatched to a shard per channel
+	// send; 0 means a sensible default. Smaller batches lower latency,
+	// larger ones lower coordination overhead.
+	BatchSize int
+}
+
+// BinResult is the merged measurement of one non-empty bin.
+type BinResult struct {
+	// Bin is the bin index; Start and End its time interval. Bins with no
+	// packets are skipped, so consecutive results may have index gaps.
+	Bin        int64
+	Start, End float64
+	// Orig holds every flow of the bin in the canonical ranking order.
+	Orig []flowtable.Entry
+	// SampledTop is the exact global top-TopT of the sampled table.
+	SampledTop []flowtable.Entry
+	// Sampled maps every sampled flow to its sampled packet count.
+	Sampled map[flow.Key]int64
+	// SampledFlows is len(Sampled), the sampled table's flow count.
+	SampledFlows int
+	// Pairs carries the §5 ranking and §7 detection swapped-pair counts of
+	// the bin.
+	Pairs metrics.PairCounts
+	// Totals of the original and sampled tables.
+	OrigPackets, OrigBytes       int64
+	SampledPackets, SampledBytes int64
+}
+
+// item is one packet after the reader stage: key aggregated, sampling
+// decided.
+type item struct {
+	key     flow.Key
+	time    float64
+	size    int64
+	sampled bool
+}
+
+// shardMsg is either a packet batch or a flush barrier.
+type shardMsg struct {
+	batch []item
+	flush bool
+}
+
+// shardSummary is one shard's contribution to a bin merge.
+type shardSummary struct {
+	orig                   []flowtable.Entry
+	sampTop                []flowtable.Entry
+	sampled                map[flow.Key]int64
+	origPackets, origBytes int64
+	sampPackets, sampBytes int64
+}
+
+// shard owns one partition of the key space.
+type shard struct {
+	orig, samp *flowtable.Table
+	topT       int
+	in         chan shardMsg     // nil when the engine runs inline
+	out        chan shardSummary // one summary per flush barrier
+}
+
+func (s *shard) add(it item) {
+	s.orig.AddAggregated(it.key, it.time, it.size)
+	if it.sampled {
+		s.samp.AddAggregated(it.key, it.time, it.size)
+	}
+}
+
+// summarize snapshots and resets the shard's tables at a bin barrier. The
+// sort of the shard's entries happens here — in parallel across shards —
+// leaving only the k-way merge to the barrier.
+func (s *shard) summarize() shardSummary {
+	sum := shardSummary{
+		orig:        s.orig.Entries(),
+		sampTop:     s.samp.Top(s.topT),
+		sampled:     s.samp.Counts(),
+		origPackets: s.orig.TotalPackets(),
+		origBytes:   s.orig.TotalBytes(),
+		sampPackets: s.samp.TotalPackets(),
+		sampBytes:   s.samp.TotalBytes(),
+	}
+	s.orig.Reset()
+	s.samp.Reset()
+	return sum
+}
+
+func (s *shard) loop(wg *sync.WaitGroup, free chan []item) {
+	defer wg.Done()
+	for msg := range s.in {
+		if msg.flush {
+			s.out <- s.summarize()
+			continue
+		}
+		for _, it := range msg.batch {
+			s.add(it)
+		}
+		select { // recycle the batch buffer if the reader wants it
+		case free <- msg.batch[:0]:
+		default:
+		}
+	}
+}
+
+// Engine is a running streaming monitor. Feed it packets in trace order,
+// then Close it; the emit callback receives one BinResult per non-empty
+// bin, in bin order, from the Feed/Close goroutine. An Engine is not safe
+// for concurrent Feed calls — the single-threaded reader stage is what
+// keeps the sampling decision stream sequential.
+type Engine struct {
+	cfg        Config
+	emit       func(BinResult) error
+	shards     []*shard
+	pending    [][]item // reader-side per-shard batches (nil when inline)
+	free       chan []item
+	wg         sync.WaitGroup
+	bin        int64
+	binPackets int64
+	err        error
+	closed     bool
+	stopped    bool // workers shut down
+}
+
+var errClosed = errors.New("stream: engine already closed")
+
+// clampBin is the far-future bin index: beyond 2^53 bins the float
+// quotient no longer identifies an exact integer, so every later
+// timestamp collapses into this one final bin.
+const clampBin int64 = 1 << 53
+
+// NewEngine validates cfg, starts the shard workers (for Workers > 1) and
+// returns an engine ready for Feed. Every engine must be Closed, even
+// after an error, to release its workers.
+func NewEngine(cfg Config, emit func(BinResult) error) (*Engine, error) {
+	if cfg.Agg == nil {
+		return nil, errors.New("stream: Config.Agg is required")
+	}
+	if cfg.Sampler == nil {
+		return nil, errors.New("stream: Config.Sampler is required")
+	}
+	if !(cfg.BinSeconds > 0) || math.IsInf(cfg.BinSeconds, 0) {
+		return nil, fmt.Errorf("stream: bin width %g must be positive and finite", cfg.BinSeconds)
+	}
+	if cfg.TopT < 0 {
+		return nil, fmt.Errorf("stream: top list length %d is negative", cfg.TopT)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("stream: worker count %d must be at least 1", cfg.Workers)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("stream: batch size %d must be at least 1", cfg.BatchSize)
+	}
+	if emit == nil {
+		return nil, errors.New("stream: emit callback is required")
+	}
+	e := &Engine{cfg: cfg, emit: emit}
+	e.shards = make([]*shard, cfg.Workers)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			orig: flowtable.New(cfg.Agg),
+			samp: flowtable.New(cfg.Agg),
+			topT: cfg.TopT,
+		}
+	}
+	if cfg.Workers > 1 {
+		e.pending = make([][]item, cfg.Workers)
+		e.free = make(chan []item, 2*cfg.Workers)
+		for _, s := range e.shards {
+			s.in = make(chan shardMsg, 4)
+			s.out = make(chan shardSummary, 1)
+			e.wg.Add(1)
+			go s.loop(&e.wg, e.free)
+		}
+	}
+	return e, nil
+}
+
+// Feed accounts one packet. Packets must arrive in non-decreasing time
+// order; crossing a bin boundary triggers the barrier flush and the emit
+// callback before the packet is accounted into its own bin.
+func (e *Engine) Feed(p packet.Packet) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return errClosed
+	}
+	// The far-future bin is a clamp (see targetBin): once in it, later
+	// packets accumulate there rather than re-triggering the boundary,
+	// which would emit duplicate bins with the same clamped index.
+	if e.bin < clampBin && p.Time >= float64(e.bin+1)*e.cfg.BinSeconds {
+		if err := e.flushBin(); err != nil {
+			return err
+		}
+		e.bin = e.targetBin(p.Time)
+	}
+	kept := e.cfg.Sampler.Sample(p)
+	key := e.cfg.Agg.Aggregate(p.Key)
+	it := item{key: key, time: p.Time, size: int64(p.Size), sampled: kept}
+	if e.pending == nil {
+		e.shards[0].add(it)
+	} else {
+		s := int(key.FastHash() % uint64(len(e.shards)))
+		e.pending[s] = append(e.pending[s], it)
+		if len(e.pending[s]) >= e.cfg.BatchSize {
+			e.dispatch(s)
+		}
+	}
+	e.binPackets++
+	return nil
+}
+
+// Close flushes the final bin, stops the workers and returns the first
+// error the run hit (if any). It is idempotent.
+func (e *Engine) Close() error {
+	if e.closed {
+		return e.err
+	}
+	e.closed = true
+	if e.err == nil {
+		e.flushBin() // the error, if any, lands in e.err via fail
+	}
+	e.shutdown()
+	return e.err
+}
+
+// Abort releases the engine's workers without flushing the partial final
+// bin — for callers failing mid-stream whose partial measurements must
+// not be reported. After Abort, Feed returns an error and Close is a
+// no-op returning the run's error, if any.
+func (e *Engine) Abort() {
+	e.closed = true
+	e.shutdown()
+}
+
+// dispatch hands shard s's pending batch to its worker, reusing a spent
+// batch buffer when one is available.
+func (e *Engine) dispatch(s int) {
+	if len(e.pending[s]) == 0 {
+		return
+	}
+	e.shards[s].in <- shardMsg{batch: e.pending[s]}
+	select {
+	case b := <-e.free:
+		e.pending[s] = b
+	default:
+		e.pending[s] = make([]item, 0, e.cfg.BatchSize)
+	}
+}
+
+// flushBin runs the bin barrier: drain every shard, merge their summaries
+// and emit the BinResult. Empty bins (no packets anywhere) emit nothing.
+func (e *Engine) flushBin() error {
+	if e.binPackets == 0 {
+		return nil
+	}
+	e.binPackets = 0
+	sums := make([]shardSummary, len(e.shards))
+	if e.pending == nil {
+		sums[0] = e.shards[0].summarize()
+	} else {
+		for s := range e.shards {
+			e.dispatch(s)
+			e.shards[s].in <- shardMsg{flush: true}
+		}
+		for s := range e.shards {
+			sums[s] = <-e.shards[s].out
+		}
+	}
+	r := e.mergeBin(sums)
+	if err := e.emit(r); err != nil {
+		e.fail(fmt.Errorf("stream: emitting bin %d: %w", r.Bin, err))
+		return e.err
+	}
+	return nil
+}
+
+// mergeBin combines the per-shard summaries into the global bin result.
+// The merges are exact: shards partition the key space, so the global
+// sorted order is the k-way merge of the shard orders, and the global
+// top-k is the k-way merge of the shard top-k lists.
+func (e *Engine) mergeBin(sums []shardSummary) BinResult {
+	r := BinResult{
+		Bin:   e.bin,
+		Start: float64(e.bin) * e.cfg.BinSeconds,
+		End:   float64(e.bin+1) * e.cfg.BinSeconds,
+	}
+	origLists := make([][]flowtable.Entry, 0, len(sums))
+	topLists := make([][]flowtable.Entry, 0, len(sums))
+	for i := range sums {
+		s := &sums[i]
+		if len(s.orig) > 0 {
+			origLists = append(origLists, s.orig)
+		}
+		if len(s.sampTop) > 0 {
+			topLists = append(topLists, s.sampTop)
+		}
+		r.OrigPackets += s.origPackets
+		r.OrigBytes += s.origBytes
+		r.SampledPackets += s.sampPackets
+		r.SampledBytes += s.sampBytes
+		r.SampledFlows += len(s.sampled)
+	}
+	if len(sums) == 1 {
+		// Single shard: its summary is a fresh snapshot owned by nobody
+		// else, so alias it instead of re-copying — this is the hot path
+		// of the sequential (Workers=1) engine.
+		r.Orig = sums[0].orig
+		r.SampledTop = sums[0].sampTop
+		r.Sampled = sums[0].sampled
+	} else {
+		r.Orig = flowtable.MergeEntries(origLists...)
+		r.SampledTop = flowtable.MergeTop(e.cfg.TopT, topLists...)
+		r.Sampled = make(map[flow.Key]int64, r.SampledFlows)
+		for i := range sums {
+			for k, v := range sums[i].sampled {
+				r.Sampled[k] = v
+			}
+		}
+	}
+	r.Pairs = metrics.CountSwapped(r.Orig, r.Sampled, e.cfg.TopT)
+	return r
+}
+
+// targetBin returns the bin containing time t (known to lie at or past the
+// end of the current bin) in O(1), instead of walking bin by bin — a trace
+// with one far-future timestamp must not spin through billions of empty
+// flushes. The float quotient gives the candidate; the two adjustment
+// loops (at most a step or two) align it with the exact boundary
+// comparisons the walk would have made, so the bin labels are identical.
+func (e *Engine) targetBin(t float64) int64 {
+	q := t / e.cfg.BinSeconds
+	if !(q < float64(clampBin)) {
+		return clampBin
+	}
+	b := int64(q)
+	if b < e.bin+1 {
+		b = e.bin + 1
+	}
+	for t >= float64(b+1)*e.cfg.BinSeconds {
+		b++
+	}
+	for b > e.bin+1 && t < float64(b)*e.cfg.BinSeconds {
+		b--
+	}
+	return b
+}
+
+// fail records the run's first error and stops the workers so a failed
+// engine holds no resources.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.shutdown()
+}
+
+func (e *Engine) shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, s := range e.shards {
+		if s.in != nil {
+			close(s.in)
+		}
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,408 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/metrics"
+	"flowrank/internal/packet"
+	"flowrank/internal/packetgen"
+	"flowrank/internal/sampler"
+	"flowrank/internal/tracegen"
+)
+
+// makePackets materializes a multi-bin Sprint-like packet trace.
+func makePackets(t testing.TB, seconds, arrival float64, seed uint64) []packet.Packet {
+	t.Helper()
+	cfg := tracegen.SprintFiveTuple(seconds, seed)
+	cfg.ArrivalRate = arrival
+	records, err := tracegen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []packet.Packet
+	if err := packetgen.Stream(records, seed+1, func(p packet.Packet) error {
+		pkts = append(pkts, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
+// referenceBins is an independent sequential implementation of the
+// monitor — the literal loop cmd/flowtop ran before the engine existed:
+// one flow-table pair, per-packet sampling, flush at each bin boundary.
+func referenceBins(pkts []packet.Packet, agg flow.Aggregator, smp sampler.Sampler, binSec float64, topT int) []BinResult {
+	orig := flowtable.New(agg)
+	samp := flowtable.New(agg)
+	binIdx := int64(0)
+	var out []BinResult
+	flush := func() {
+		if orig.Len() == 0 {
+			binIdx++
+			return
+		}
+		origSorted := orig.Entries()
+		sampled := samp.Counts()
+		out = append(out, BinResult{
+			Bin:            binIdx,
+			Start:          float64(binIdx) * binSec,
+			End:            float64(binIdx+1) * binSec,
+			Orig:           origSorted,
+			SampledTop:     samp.Top(topT),
+			Sampled:        sampled,
+			SampledFlows:   samp.Len(),
+			Pairs:          metrics.CountSwapped(origSorted, sampled, topT),
+			OrigPackets:    orig.TotalPackets(),
+			OrigBytes:      orig.TotalBytes(),
+			SampledPackets: samp.TotalPackets(),
+			SampledBytes:   samp.TotalBytes(),
+		})
+		orig.Reset()
+		samp.Reset()
+		binIdx++
+	}
+	for _, p := range pkts {
+		for p.Time >= float64(binIdx+1)*binSec {
+			flush()
+		}
+		orig.Add(p)
+		if smp.Sample(p) {
+			samp.Add(p)
+		}
+	}
+	flush()
+	return out
+}
+
+// runEngine feeds pkts through an engine and collects every BinResult.
+func runEngine(t testing.TB, cfg Config, pkts []packet.Packet) []BinResult {
+	t.Helper()
+	var out []BinResult
+	eng, err := NewEngine(cfg, func(b BinResult) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := eng.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func compareBins(t *testing.T, label string, got, want []BinResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d bins, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s: bin %d diverges:\ngot  %+v\nwant %+v", label, got[i].Bin, got[i], want[i])
+		}
+	}
+}
+
+// TestEngineMatchesSequentialReference pins the engine — sequential inline
+// path and sharded path alike — to the independent reference loop,
+// bit for bit, for both flow definitions.
+func TestEngineMatchesSequentialReference(t *testing.T) {
+	pkts := makePackets(t, 20, 120, 3)
+	const binSec, topT, rate = 5.0, 8, 0.2
+	aggs := []flow.Aggregator{flow.FiveTuple{}, flow.DstPrefix{Bits: 24}}
+	for _, agg := range aggs {
+		want := referenceBins(pkts, agg, sampler.NewBernoulli(rate, 9), binSec, topT)
+		if len(want) < 3 {
+			t.Fatalf("agg %v: degenerate trace: only %d bins", agg, len(want))
+		}
+		for _, workers := range []int{1, 4} {
+			cfg := Config{
+				Agg:        agg,
+				Sampler:    sampler.NewBernoulli(rate, 9),
+				BinSeconds: binSec,
+				TopT:       topT,
+				Workers:    workers,
+			}
+			got := runEngine(t, cfg, pkts)
+			compareBins(t, fmt.Sprintf("agg %v workers %d", agg, workers), got, want)
+		}
+	}
+}
+
+// TestEngineWorkerCountInvariance: any worker count and batch size must
+// produce the same bin stream as the sequential path — the cross-check
+// that the sharded merge is exact.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	pkts := makePackets(t, 15, 150, 11)
+	base := func() Config {
+		return Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(0.15, 21),
+			BinSeconds: 5,
+			TopT:       10,
+			Workers:    1,
+		}
+	}
+	want := runEngine(t, base(), pkts)
+	for _, workers := range []int{2, 3, 4, 8} {
+		for _, batch := range []int{1, 7, 512} {
+			cfg := base()
+			cfg.Workers = workers
+			cfg.BatchSize = batch
+			got := runEngine(t, cfg, pkts)
+			compareBins(t, fmt.Sprintf("workers=%d batch=%d", workers, batch), got, want)
+		}
+	}
+}
+
+// TestEngineSkipsEmptyBinsInConstantTime: a packet at a far-future
+// timestamp must advance the bin index directly, not walk through
+// billions of empty flushes (the old flowtop loop would effectively hang).
+// The test budget enforces the O(1) behaviour: walking 1e15 bins would
+// never finish.
+func TestEngineSkipsEmptyBinsInConstantTime(t *testing.T) {
+	mk := func(key byte, time float64) packet.Packet {
+		return packet.Packet{Time: time, Key: flow.Key{Src: flow.Addr{10, 0, 0, key}}, Size: 100}
+	}
+	for _, workers := range []int{1, 4} {
+		var out []BinResult
+		eng, err := NewEngine(Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(1, 1),
+			BinSeconds: 1,
+			TopT:       3,
+			Workers:    workers,
+		}, func(b BinResult) error {
+			out = append(out, b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []packet.Packet{mk(1, 0.5), mk(2, 1e15), mk(2, 1e15+0.25)} {
+			if err := eng.Feed(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("workers=%d: %d bins, want 2", workers, len(out))
+		}
+		if out[0].Bin != 0 || out[1].Bin != 1e15 {
+			t.Fatalf("workers=%d: bins %d, %d; want 0, 1e15", workers, out[0].Bin, out[1].Bin)
+		}
+		if out[1].OrigPackets != 2 {
+			t.Fatalf("workers=%d: far bin has %d packets", workers, out[1].OrigPackets)
+		}
+	}
+}
+
+// TestEngineFarFutureClamp: past 2^53 bins the quotient is no longer an
+// exact integer; such timestamps collapse into one clamped final bin
+// instead of overflowing or spinning.
+func TestEngineFarFutureClamp(t *testing.T) {
+	var out []BinResult
+	eng, err := NewEngine(Config{
+		Agg:        flow.FiveTuple{},
+		Sampler:    sampler.NewBernoulli(0, 1),
+		BinSeconds: 1,
+		TopT:       1,
+		Workers:    1,
+	}, func(b BinResult) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several increasing far-future timestamps must all accumulate into
+	// the single clamped bin, not re-trigger the boundary and emit
+	// duplicate bins with the same index.
+	for _, tm := range []float64{1e30, 1e30 + 1, 2e30, 1e100} {
+		p := packet.Packet{Time: tm, Key: flow.Key{Src: flow.Addr{1, 2, 3, 4}}, Size: 1}
+		if err := eng.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Bin != 1<<53 {
+		t.Fatalf("bins %+v, want one clamped bin at 2^53", out)
+	}
+	if out[0].OrigPackets != 4 {
+		t.Fatalf("clamped bin has %d packets, want 4", out[0].OrigPackets)
+	}
+}
+
+// TestEngineEmitError: an emit failure must surface from Feed (or Close),
+// poison further Feeds, and still release the workers.
+func TestEngineEmitError(t *testing.T) {
+	pkts := makePackets(t, 12, 100, 5)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		bins := 0
+		eng, err := NewEngine(Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(0.5, 2),
+			BinSeconds: 4,
+			TopT:       5,
+			Workers:    workers,
+		}, func(BinResult) error {
+			bins++
+			if bins == 2 {
+				return boom
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ferr error
+		for _, p := range pkts {
+			if ferr = eng.Feed(p); ferr != nil {
+				break
+			}
+		}
+		if !errors.Is(ferr, boom) {
+			t.Fatalf("workers=%d: Feed error = %v, want wrapped boom", workers, ferr)
+		}
+		if err := eng.Feed(pkts[0]); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Feed after failure = %v", workers, err)
+		}
+		if err := eng.Close(); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Close = %v, want boom", workers, err)
+		}
+	}
+}
+
+// TestEngineAbortSkipsPartialBin: Abort must release the workers without
+// emitting the half-ingested final bin.
+func TestEngineAbortSkipsPartialBin(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		emitted := 0
+		eng, err := NewEngine(Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(1, 1),
+			BinSeconds: 10,
+			TopT:       3,
+			Workers:    workers,
+		}, func(BinResult) error {
+			emitted++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			p := packet.Packet{Time: float64(i), Key: flow.Key{Src: flow.Addr{1, 1, 1, byte(i)}}, Size: 10}
+			if err := eng.Feed(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Abort()
+		if emitted != 0 {
+			t.Fatalf("workers=%d: Abort emitted %d bins", workers, emitted)
+		}
+		if err := eng.Feed(packet.Packet{}); err == nil {
+			t.Fatalf("workers=%d: Feed after Abort accepted", workers)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatalf("workers=%d: Close after Abort = %v", workers, err)
+		}
+		if emitted != 0 {
+			t.Fatalf("workers=%d: Close after Abort emitted %d bins", workers, emitted)
+		}
+	}
+}
+
+func TestEngineFeedAfterClose(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Agg:        flow.FiveTuple{},
+		Sampler:    sampler.NewBernoulli(1, 1),
+		BinSeconds: 1,
+		Workers:    2,
+	}, func(BinResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	if err := eng.Feed(packet.Packet{}); err == nil {
+		t.Fatal("Feed after Close accepted")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	emit := func(BinResult) error { return nil }
+	smp := sampler.NewBernoulli(0.5, 1)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing agg", Config{Sampler: smp, BinSeconds: 1}},
+		{"missing sampler", Config{Agg: flow.FiveTuple{}, BinSeconds: 1}},
+		{"zero bin", Config{Agg: flow.FiveTuple{}, Sampler: smp}},
+		{"negative bin", Config{Agg: flow.FiveTuple{}, Sampler: smp, BinSeconds: -1}},
+		{"negative topT", Config{Agg: flow.FiveTuple{}, Sampler: smp, BinSeconds: 1, TopT: -1}},
+		{"negative workers", Config{Agg: flow.FiveTuple{}, Sampler: smp, BinSeconds: 1, Workers: -2}},
+		{"negative batch", Config{Agg: flow.FiveTuple{}, Sampler: smp, BinSeconds: 1, BatchSize: -1}},
+	}
+	for _, c := range cases {
+		if _, err := NewEngine(c.cfg, emit); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewEngine(Config{Agg: flow.FiveTuple{}, Sampler: smp, BinSeconds: 1}, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}
+
+// TestEngineBinTotals sanity-checks the merged totals against the fed
+// packets, independently of the reference implementation.
+func TestEngineBinTotals(t *testing.T) {
+	pkts := makePackets(t, 10, 100, 7)
+	var total, bytes int64
+	for _, p := range pkts {
+		total++
+		bytes += int64(p.Size)
+	}
+	var gotPkts, gotBytes int64
+	out := runEngine(t, Config{
+		Agg:        flow.FiveTuple{},
+		Sampler:    sampler.NewBernoulli(0.1, 4),
+		BinSeconds: 2.5,
+		TopT:       5,
+		Workers:    4,
+	}, pkts)
+	for _, b := range out {
+		gotPkts += b.OrigPackets
+		gotBytes += b.OrigBytes
+		if b.SampledPackets > b.OrigPackets {
+			t.Fatalf("bin %d: sampled %d > original %d", b.Bin, b.SampledPackets, b.OrigPackets)
+		}
+		if b.SampledFlows != len(b.Sampled) {
+			t.Fatalf("bin %d: SampledFlows %d != len(Sampled) %d", b.Bin, b.SampledFlows, len(b.Sampled))
+		}
+	}
+	if gotPkts != total || gotBytes != bytes {
+		t.Fatalf("totals %d pkts / %d bytes, want %d / %d", gotPkts, gotBytes, total, bytes)
+	}
+}
