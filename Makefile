@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet fmt check race bench bench-smoke e2e
+.PHONY: all build test short vet fmt check race bench bench-smoke e2e fuzz-smoke cover
 
 all: check
 
@@ -47,3 +47,18 @@ bench-smoke:
 # byte-identical on both trace formats (native and pcap).
 e2e:
 	./scripts/e2e_flowtop.sh
+
+# Brief native fuzz runs (~30 s total) over the wire-format edges: the
+# NetFlow decode/encode round trip and the pcap reader/writer. Long runs
+# are for dedicated fuzzing sessions; this keeps the harnesses and seed
+# corpora green.
+fuzz-smoke:
+	$(GO) test ./internal/netflow -run '^$$' -fuzz '^FuzzDecodeDatagram$$' -fuzztime 8s
+	$(GO) test ./internal/netflow -run '^$$' -fuzz '^FuzzExportRoundTrip$$' -fuzztime 8s
+	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzReader$$' -fuzztime 7s
+	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzWriterRoundTrip$$' -fuzztime 7s
+
+# Short-suite coverage with a ratchet: fails when total coverage drops
+# more than a point below the committed .coverage-baseline.
+cover:
+	./scripts/coverage_ratchet.sh

@@ -29,6 +29,7 @@ import (
 
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
+	"flowrank/internal/invert"
 	"flowrank/internal/layers"
 	"flowrank/internal/netflow"
 	"flowrank/internal/packet"
@@ -50,6 +51,7 @@ type options struct {
 	seed    uint64
 	nfOut   string
 	workers int
+	invert  string
 }
 
 func main() {
@@ -65,6 +67,7 @@ func main() {
 	flag.Uint64Var(&opts.seed, "seed", 1, "sampler seed")
 	flag.StringVar(&opts.nfOut, "netflow", "", "write sampled ranking as NetFlow v5 datagrams")
 	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "shard workers for the streaming engine")
+	flag.StringVar(&opts.invert, "invert", "", "estimate the original flow-size distribution per bin: naive, tail, em, or parametric")
 	flag.Parse()
 	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
@@ -95,6 +98,11 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	inverter, err := inverterByName(opts.invert)
+	if err != nil {
+		return err
+	}
+
 	var nfRecords []netflow.Record
 	eng, err := stream.NewEngine(stream.Config{
 		Agg:        agg,
@@ -102,9 +110,15 @@ func run(opts options, stdout, stderr io.Writer) error {
 		BinSeconds: opts.binSec,
 		TopT:       opts.topT,
 		Workers:    opts.workers,
+		Inverter:   inverter,
 	}, func(b stream.BinResult) error {
 		if err := printBin(stdout, b, opts.topT); err != nil {
 			return err
+		}
+		if b.Inversion != nil {
+			if err := printInversion(stdout, b.Inversion); err != nil {
+				return err
+			}
 		}
 		if opts.nfOut != "" {
 			for _, e := range b.SampledTop {
@@ -144,6 +158,38 @@ func run(opts options, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "wrote %d NetFlow v5 records to %s\n", len(nfRecords), opts.nfOut)
 	}
 	return nil
+}
+
+// inverterByName maps the -invert flag to an estimator; "" disables the
+// inversion stage.
+func inverterByName(name string) (invert.Estimator, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "naive":
+		return invert.Naive{}, nil
+	case "tail":
+		return invert.TailScaling{}, nil
+	case "em":
+		return invert.EM{}, nil
+	case "parametric":
+		return invert.Parametric{}, nil
+	}
+	return nil, fmt.Errorf("unknown -invert %q (want naive, tail, em, or parametric)", name)
+}
+
+// printInversion renders the per-bin inversion summary under the bin
+// table. The format is pinned by the golden-file test.
+func printInversion(w io.Writer, s *stream.InversionSummary) error {
+	if s.Err != "" {
+		_, err := fmt.Fprintf(w, "inversion (%s): %s\n\n", s.Method, s.Err)
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"inversion (%s): mean=%.4g pkts, tail index=%.3g, est flows=%.0f, size quantiles q50=%.4g q10=%.4g q1=%.4g q0.1=%.4g\n\n",
+		s.Method, s.Mean, s.TailIndex, s.FlowCount,
+		s.Quantiles[0], s.Quantiles[1], s.Quantiles[2], s.Quantiles[3])
+	return err
 }
 
 // openTrace returns a packet iterator for either trace format.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"math"
 	"os"
 	"path/filepath"
@@ -102,6 +103,7 @@ func TestShardedMatchesSequential(t *testing.T) {
 				rate: 0.2, topT: 5, binSec: 4,
 				aggName: "5tuple", seed: 9,
 				nfOut: nfPath, workers: workers,
+				invert: "em",
 			}
 			if err := run(opts, &stdout, &stderr); err != nil {
 				t.Fatalf("pcap=%v workers=%d: %v", v.isPcap, workers, err)
@@ -124,6 +126,57 @@ func TestShardedMatchesSequential(t *testing.T) {
 		if len(outs[0]) == 0 || len(nfs[0]) == 0 {
 			t.Fatalf("pcap=%v: degenerate run: no output", v.isPcap)
 		}
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGoldenOutput pins flowtop's stdout, byte for byte, on a fixed-seed
+// native trace — output-format drift now fails tier-1 instead of only the
+// e2e script. The run includes the -invert summary so the inversion
+// output format is pinned too. Regenerate with:
+//
+//	go test ./cmd/flowtop -run TestGoldenOutput -update
+func TestGoldenOutput(t *testing.T) {
+	native, _ := writeTraces(t)
+	var stdout, stderr bytes.Buffer
+	opts := options{
+		in: native, rate: 0.2, topT: 5, binSec: 4,
+		aggName: "5tuple", seed: 9, workers: 2,
+		invert: "em",
+	}
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "flowtop_sprint12s_p20_em.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("stdout drifted from %s (regenerate with -update if intended):\n--- got\n%s\n--- want\n%s",
+			golden, stdout.String(), want)
+	}
+}
+
+// TestInverterByName covers the -invert flag mapping.
+func TestInverterByName(t *testing.T) {
+	for _, name := range []string{"naive", "tail", "em", "parametric"} {
+		est, err := inverterByName(name)
+		if err != nil || est == nil || est.Name() != name {
+			t.Errorf("inverterByName(%q) = %v, %v", name, est, err)
+		}
+	}
+	if est, err := inverterByName(""); est != nil || err != nil {
+		t.Errorf("empty name should disable inversion, got %v, %v", est, err)
+	}
+	if _, err := inverterByName("bayes"); err == nil {
+		t.Error("unknown inverter accepted")
 	}
 }
 

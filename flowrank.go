@@ -20,6 +20,11 @@
 //     tables): the §8 trace-driven evaluation plus the paper's three
 //     future-work directions.
 //
+//   - Inversion (Inverter, Inversion, NaiveInverter … EMInverter): the
+//     inverse problem — recovering the original flow-size distribution
+//     from the sampled per-flow counts, feeding the adaptive controller
+//     and the streaming monitor's per-bin summaries.
+//
 // Everything is deterministic given explicit seeds, uses only the standard
 // library, and is exercised by the experiment harness in
 // cmd/flowrank-bench, which regenerates every figure of the paper.
@@ -31,6 +36,7 @@ import (
 	"flowrank/internal/dist"
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
+	"flowrank/internal/invert"
 	"flowrank/internal/metrics"
 	"flowrank/internal/packet"
 	"flowrank/internal/packetgen"
@@ -139,6 +145,15 @@ func NewMixture(components ...MixtureComponent) (*Mixture, error) {
 // returning the pmf in the layout DiscreteModel consumes (the tail beyond
 // max is folded into the last bin).
 func Discretize(d SizeDist, max int) []float64 { return dist.Discretize(d, max) }
+
+// Discrete is a weighted discrete distribution over an arbitrary
+// ascending support — the output type of the EM inversion, and the
+// generalization of Empirical to (value, probability) atoms.
+type Discrete = dist.Discrete
+
+// NewDiscrete builds a discrete distribution from parallel value/weight
+// slices (weights are normalized; zero-weight atoms dropped).
+func NewDiscrete(values, weights []float64) *Discrete { return dist.NewDiscrete(values, weights) }
 
 // ---------------------------------------------------------------------------
 // Flow identity and traces
@@ -347,3 +362,45 @@ type (
 // HillTailIndex estimates the Pareto tail index from the k largest sample
 // values.
 func HillTailIndex(sizes []float64, k int) (float64, error) { return adaptive.Hill(sizes, k) }
+
+// ---------------------------------------------------------------------------
+// Distribution inversion (internal/invert)
+
+// Inverter estimates the original flow-size distribution from the
+// per-flow packet counts a sampling monitor observed at rate p — the
+// inverse problem of the analytical models. Inversion is its result: an
+// estimated SizeDist plus scalar summaries (mean, tail index, original
+// flow count including the flows sampling missed).
+type (
+	Inverter  = invert.Estimator
+	Inversion = invert.Estimate
+)
+
+// The four inverters, cheapest to most faithful: 1/p rescaling of the
+// observed counts, Chabchoub-style tail rescaling with a Hill fit, the
+// controller's parametric Pareto fixed point, and full EM/MLE inversion
+// of the binomial thinning kernel over a discretized support. The zero
+// value of each is ready to use; Controller.Inverter and
+// StreamConfig.Inverter accept any of them.
+type (
+	NaiveInverter      = invert.Naive
+	TailInverter       = invert.TailScaling
+	ParametricInverter = invert.Parametric
+	EMInverter         = invert.EM
+)
+
+// MissProbability returns the probability that a flow drawn from d leaves
+// no sampled packet at rate p: E[(1-p)^S] — the quantity that converts an
+// observed flow count into an original one.
+func MissProbability(d SizeDist, p float64) float64 { return invert.MissProbability(d, p) }
+
+// KolmogorovDistance returns the Kolmogorov–Smirnov sup-distance between
+// two size laws over the probe points (include both laws' atoms for step
+// distributions; QuantileProbes builds a suitable grid).
+func KolmogorovDistance(a, b SizeDist, probes []float64) float64 {
+	return invert.KolmogorovDistance(a, b, probes)
+}
+
+// QuantileProbes returns an n-point probe grid spanning d's body and deep
+// tail, for KolmogorovDistance.
+func QuantileProbes(d SizeDist, n int) []float64 { return invert.QuantileProbes(d, n) }

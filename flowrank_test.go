@@ -3,6 +3,8 @@ package flowrank
 import (
 	"math"
 	"testing"
+
+	"flowrank/internal/randx"
 )
 
 // TestQuickstartWorkflow exercises the full public API surface the way the
@@ -256,5 +258,49 @@ func TestStreamFacade(t *testing.T) {
 			seq[i].OrigPackets != shard[i].OrigPackets {
 			t.Fatalf("bin %d diverges across worker counts", seq[i].Bin)
 		}
+	}
+}
+
+// TestInversionFacade: the inverters are usable end to end through the
+// facade — sample a known law, invert the observed counts, and plug the
+// estimate back into the streaming monitor and distance helpers.
+func TestInversionFacade(t *testing.T) {
+	d := ParetoWithMean(9.6, 1.5)
+	g := randx.New(33)
+	const n, p = 8000, 0.1
+	var truth, counts []float64
+	for i := 0; i < n; i++ {
+		s := math.Max(1, math.Round(d.Rand(g)))
+		truth = append(truth, s)
+		if k := g.Binomial(int(s), p); k > 0 {
+			counts = append(counts, float64(k))
+		}
+	}
+	emp := NewEmpirical(truth)
+	probes := QuantileProbes(emp, 128)
+	var naiveKS, emKS float64
+	for _, inv := range []Inverter{NaiveInverter{}, TailInverter{}, ParametricInverter{}, EMInverter{}} {
+		est, err := inv.Invert(counts, p)
+		if err != nil {
+			t.Fatalf("%s: %v", inv.Name(), err)
+		}
+		if est.Method != inv.Name() || !(est.Mean > 0) || est.Dist == nil {
+			t.Fatalf("%s: degenerate estimate %+v", inv.Name(), est)
+		}
+		switch inv.(type) {
+		case NaiveInverter:
+			naiveKS = KolmogorovDistance(est.Dist, emp, probes)
+		case EMInverter:
+			emKS = KolmogorovDistance(est.Dist, emp, probes)
+			if _, ok := est.Dist.(*Discrete); !ok {
+				t.Fatalf("EM estimate dist %T, want *Discrete", est.Dist)
+			}
+		}
+	}
+	if !(emKS < naiveKS) {
+		t.Errorf("EM KS %g not below naive %g", emKS, naiveKS)
+	}
+	if miss := MissProbability(NewDiscrete([]float64{10}, []float64{1}), 0.1); math.Abs(miss-math.Pow(0.9, 10)) > 1e-9 {
+		t.Errorf("MissProbability point mass = %g", miss)
 	}
 }

@@ -1,102 +1,40 @@
 // Package adaptive implements the paper's third future-work direction
 // (§9): setting the sampling rate from the observed traffic. A Controller
-// watches one measurement bin of sampled traffic, estimates the flow
-// population (total flows, mean size, Pareto tail index) by inverting the
-// sampling, and asks the analytical model for the cheapest rate that keeps
-// the chosen swapped-pairs metric under a target.
+// watches one measurement bin of sampled traffic, inverts the sampling
+// through an internal/invert estimator to recover the flow population
+// (total flows, size distribution), and asks the analytical model for the
+// cheapest rate that keeps the chosen swapped-pairs metric under a
+// target.
 package adaptive
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"flowrank/internal/core"
 	"flowrank/internal/dist"
-	"flowrank/internal/numeric"
+	"flowrank/internal/invert"
 )
 
 // Hill returns the Hill estimator of the Pareto tail index from the k
-// largest values of sizes: the reciprocal mean log-excess over the k-th
-// order statistic. Larger k lowers variance but admits bias from the
-// non-tail body; k of a few percent of the sample is customary.
+// largest values of sizes. It is invert.Hill, re-exported where the
+// controller's callers historically found it.
 func Hill(sizes []float64, k int) (float64, error) {
-	n := len(sizes)
-	if k < 2 || k >= n {
-		return 0, fmt.Errorf("adaptive: Hill estimator needs 2 <= k < n, got k=%d n=%d", k, n)
-	}
-	sorted := make([]float64, n)
-	copy(sorted, sizes)
-	sort.Float64s(sorted)
-	threshold := sorted[n-k]
-	if threshold <= 0 {
-		return 0, fmt.Errorf("adaptive: non-positive threshold %g", threshold)
-	}
-	var sum float64
-	for _, v := range sorted[n-k:] {
-		sum += math.Log(v / threshold)
-	}
-	if sum <= 0 {
-		return 0, fmt.Errorf("adaptive: degenerate tail (all top-%d values equal)", k)
-	}
-	return float64(k) / sum, nil
+	return invert.Hill(sizes, k)
 }
 
 // MissProbability returns the probability that a flow drawn from d leaves
-// no sampled packet at rate p: E[(1-p)^S]. It is the quantity needed to
-// invert the observed flow count (Duffield et al., [9] in the paper).
+// no sampled packet at rate p: E[(1-p)^S] (invert.MissProbability).
 func MissProbability(d dist.SizeDist, p float64) float64 {
-	if p >= 1 {
-		return 0
-	}
-	if p <= 0 {
-		return 1
-	}
-	logq := math.Log1p(-p)
-	// E[(1-p)^S] = Int_0^1 exp(S(u) * log(1-p)) du in quantile space.
-	f := func(u float64) float64 {
-		if u <= 0 {
-			u = 1e-300
-		}
-		return math.Exp(d.QuantileCCDF(u) * logq)
-	}
-	return numeric.AdaptiveSimpson(f, 0, 1, 1e-10, 40)
+	return invert.MissProbability(d, p)
 }
 
-// EstimatePopulation inverts one sampled bin: given the number of sampled
-// flows (>= 1 sampled packet), the total sampled packets, and the rate,
-// it estimates the true flow count and true mean flow size by fixed-point
-// iteration on a Pareto model with the given tail index.
+// EstimatePopulation inverts one sampled bin parametrically
+// (invert.EstimatePopulation): given the number of sampled flows, the
+// total sampled packets, and the rate, it estimates the true flow count
+// and true mean flow size by fixed-point iteration on a Pareto model with
+// the given tail index.
 func EstimatePopulation(sampledFlows int, sampledPackets int64, p, beta float64) (nEst float64, meanEst float64, err error) {
-	if sampledFlows <= 0 || sampledPackets <= 0 {
-		return 0, 0, fmt.Errorf("adaptive: empty sampled bin")
-	}
-	if p <= 0 || p > 1 {
-		return 0, 0, fmt.Errorf("adaptive: rate %g outside (0, 1]", p)
-	}
-	if beta <= 1 {
-		return 0, 0, fmt.Errorf("adaptive: tail index %g <= 1 has no finite mean", beta)
-	}
-	// Initial guess: no flows missed.
-	nEst = float64(sampledFlows)
-	meanEst = float64(sampledPackets) / p / nEst
-	for iter := 0; iter < 60; iter++ {
-		d := dist.ParetoWithMean(meanEst, beta)
-		miss := MissProbability(d, p)
-		if miss >= 1 {
-			return 0, 0, fmt.Errorf("adaptive: sampling rate too low to invert")
-		}
-		nNext := float64(sampledFlows) / (1 - miss)
-		meanNext := float64(sampledPackets) / p / nNext
-		if meanNext < 1 {
-			meanNext = 1
-		}
-		if math.Abs(nNext-nEst) < 0.5 && math.Abs(meanNext-meanEst) < 1e-6*meanEst {
-			return nNext, meanNext, nil
-		}
-		nEst, meanEst = nNext, meanNext
-	}
-	return nEst, meanEst, nil
+	return invert.EstimatePopulation(sampledFlows, sampledPackets, p, beta)
 }
 
 // Controller recommends sampling rates.
@@ -113,6 +51,13 @@ type Controller struct {
 	// Workers bounds the fitted model's evaluation parallelism
 	// (core.Model.Workers: 0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Inverter selects the population inversion. Nil uses the parametric
+	// Pareto inversion (invert.Parametric) on the observation's scalar
+	// counts — the controller's original behavior. A non-nil estimator
+	// (for example invert.EM{}) requires Observation.SampledSizes to hold
+	// every sampled flow's count, and the fitted model then runs on the
+	// inverted distribution itself rather than a Pareto fit.
+	Inverter invert.Estimator
 }
 
 // Observation summarizes one sampled measurement bin.
@@ -123,14 +68,15 @@ type Observation struct {
 	SampledFlows int
 	// SampledPackets is the total number of sampled packets.
 	SampledPackets int64
-	// SampledSizes are the per-flow sampled packet counts (used for the
-	// tail estimate); only the largest few hundred matter.
+	// SampledSizes are the per-flow sampled packet counts. The default
+	// parametric inversion uses them only for the tail estimate (the
+	// largest few hundred matter); a custom Inverter needs all of them.
 	SampledSizes []float64
 }
 
 // Recommend estimates the population from the observation and returns the
-// cheapest rate whose predicted metric meets the target, together with the
-// fitted model.
+// cheapest rate whose predicted metric meets the target, together with
+// the fitted model.
 func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
 	minRate := c.MinRate
 	if minRate <= 0 {
@@ -147,27 +93,14 @@ func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
 		return 0, core.Model{}, fmt.Errorf("adaptive: target %g must be positive", c.Target)
 	}
 
-	// Tail index from the sampled sizes: sampled counts of Pareto flows
-	// keep the tail index (thinning preserves the power-law exponent).
-	k := len(obs.SampledSizes) / 50
-	if k < 10 {
-		k = 10
-	}
-	beta, err := Hill(obs.SampledSizes, k)
-	if err != nil {
-		return 0, core.Model{}, fmt.Errorf("adaptive: estimating tail: %w", err)
-	}
-	if beta <= 1.05 {
-		beta = 1.05 // keep the fitted mean finite
-	}
-	nEst, meanEst, err := EstimatePopulation(obs.SampledFlows, obs.SampledPackets, obs.Rate, beta)
+	est, err := c.estimate(obs)
 	if err != nil {
 		return 0, core.Model{}, err
 	}
 	model := core.Model{
-		N:            int(nEst + 0.5),
+		N:            int(est.FlowCount + 0.5),
 		T:            c.TopT,
-		Dist:         dist.ParetoWithMean(meanEst, beta),
+		Dist:         est.Dist,
 		PoissonTails: true,
 		Kernel:       core.KernelHybrid,
 		Workers:      c.Workers,
@@ -187,4 +120,45 @@ func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
 		rate = maxRate
 	}
 	return rate, model, nil
+}
+
+// estimate runs the configured inversion on the observation.
+func (c Controller) estimate(obs Observation) (invert.Estimate, error) {
+	if c.Inverter != nil {
+		if len(obs.SampledSizes) != obs.SampledFlows {
+			return invert.Estimate{}, fmt.Errorf(
+				"adaptive: inverter %q needs every sampled flow's count: %d sizes for %d flows",
+				c.Inverter.Name(), len(obs.SampledSizes), obs.SampledFlows)
+		}
+		est, err := c.Inverter.Invert(obs.SampledSizes, obs.Rate)
+		if err != nil {
+			return invert.Estimate{}, fmt.Errorf("adaptive: inverting observation: %w", err)
+		}
+		return est, nil
+	}
+	// Default: tail index from the sampled sizes (sampled counts of Pareto
+	// flows keep the tail index — thinning preserves the power-law
+	// exponent), then the parametric fixed point on the scalar totals.
+	k := len(obs.SampledSizes) / 50
+	if k < 10 {
+		k = 10
+	}
+	beta, err := invert.Hill(obs.SampledSizes, k)
+	if err != nil {
+		return invert.Estimate{}, fmt.Errorf("adaptive: estimating tail: %w", err)
+	}
+	if beta <= 1.05 {
+		beta = 1.05 // keep the fitted mean finite
+	}
+	nEst, meanEst, err := invert.EstimatePopulation(obs.SampledFlows, obs.SampledPackets, obs.Rate, beta)
+	if err != nil {
+		return invert.Estimate{}, err
+	}
+	return invert.Estimate{
+		Dist:      dist.ParetoWithMean(meanEst, beta),
+		Mean:      meanEst,
+		TailIndex: beta,
+		FlowCount: nEst,
+		Method:    "parametric",
+	}, nil
 }

@@ -2,9 +2,11 @@ package adaptive
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"flowrank/internal/dist"
+	"flowrank/internal/invert"
 	"flowrank/internal/randx"
 )
 
@@ -148,6 +150,9 @@ func TestEstimatePopulationErrors(t *testing.T) {
 }
 
 func TestControllerRecommendEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo observation plus model fit takes seconds")
+	}
 	// Build a sampled observation of a known Sprint-like population, ask
 	// for a ranking target, and verify the fitted model meets it at the
 	// recommended rate.
@@ -191,6 +196,72 @@ func TestControllerRecommendEndToEnd(t *testing.T) {
 	}
 	if rateDet > rate {
 		t.Errorf("detection rate %g above ranking rate %g", rateDet, rate)
+	}
+}
+
+// TestControllerWithEMInverter: a Controller handed an invert.Estimator
+// must run the fitted model on the inverted distribution itself. The EM
+// inversion sees the same bin as the default parametric path and must
+// recover the population at least as well.
+func TestControllerWithEMInverter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EM inversion plus model fit takes seconds")
+	}
+	g := randx.New(4)
+	d := dist.ParetoWithMean(9.6, 1.5)
+	trueN := 50_000
+	pObs := 0.1
+	obs := Observation{Rate: pObs}
+	for i := 0; i < trueN; i++ {
+		s := int(math.Max(1, math.Round(d.Rand(g))))
+		if got := g.Binomial(s, pObs); got > 0 {
+			obs.SampledFlows++
+			obs.SampledPackets += int64(got)
+			obs.SampledSizes = append(obs.SampledSizes, float64(got))
+		}
+	}
+	ctl := Controller{Target: 1, TopT: 5, Inverter: invert.EM{}, Workers: 1}
+	rate, model, err := ctl.Recommend(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || rate > 1 {
+		t.Fatalf("recommended rate %g", rate)
+	}
+	if model.N < trueN*85/100 || model.N > trueN*115/100 {
+		t.Errorf("EM-fitted N = %d, true %d (want within 15%%)", model.N, trueN)
+	}
+	if _, ok := model.Dist.(*dist.Discrete); !ok {
+		t.Errorf("fitted model dist %T, want the EM *dist.Discrete", model.Dist)
+	}
+	if m := model.RankingMetric(rate); m > 1.3 {
+		t.Errorf("metric at recommended rate = %g, want <= ~1", m)
+	}
+	// The default parametric controller on the same observation: both
+	// recommendations must be in the same regime (the EM path is the same
+	// controller with a richer population estimate, not a different
+	// policy).
+	rateParam, _, err := Controller{Target: 1, TopT: 5, Workers: 1}.Recommend(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 10*rateParam || rateParam > 10*rate {
+		t.Errorf("EM rate %g and parametric rate %g disagree by over 10x", rate, rateParam)
+	}
+}
+
+// TestControllerInverterNeedsAllSizes: a custom inverter needs every
+// sampled flow's count; a partial SampledSizes must be rejected rather
+// than silently inverting a truncated sample.
+func TestControllerInverterNeedsAllSizes(t *testing.T) {
+	obs := Observation{Rate: 0.1, SampledFlows: 100, SampledPackets: 1000,
+		SampledSizes: make([]float64, 40)}
+	for i := range obs.SampledSizes {
+		obs.SampledSizes[i] = float64(i%7 + 1)
+	}
+	_, _, err := Controller{Target: 1, TopT: 5, Inverter: invert.Naive{}}.Recommend(obs)
+	if err == nil || !strings.Contains(err.Error(), "every sampled flow") {
+		t.Fatalf("partial sizes accepted with custom inverter: %v", err)
 	}
 }
 

@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowrank/internal/randx"
+)
+
+// Discrete is a weighted discrete distribution over an arbitrary
+// ascending support — the generalization of Empirical from equal-weight
+// samples to (value, probability) atoms. It is the natural output type of
+// the distribution inverters (internal/invert): an EM inversion produces
+// a probability vector over a support grid, and wrapping it in a Discrete
+// hands every consumer a full SizeDist for free.
+type Discrete struct {
+	// values is the ascending support; weights[i] is P{S = values[i]}.
+	values  []float64
+	weights []float64
+	// ccdf[i] = P{S > values[i]} (so ccdf[len-1] = 0), precomputed for
+	// O(log n) CCDF/quantile/sampling lookups.
+	ccdf []float64
+	mean float64
+}
+
+// NewDiscrete builds a discrete distribution from parallel value/weight
+// slices. Values must be strictly ascending and non-negative, weights
+// non-negative with a positive sum (they are normalized); both are
+// copied. Atoms with zero weight are dropped. It panics on invalid input,
+// like the other law constructors.
+func NewDiscrete(values, weights []float64) *Discrete {
+	if len(values) == 0 || len(values) != len(weights) {
+		panic(fmt.Sprintf("dist: NewDiscrete needs equal-length non-empty slices, got %d values, %d weights",
+			len(values), len(weights)))
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("dist: NewDiscrete weight[%d] = %g", i, w))
+		}
+		if values[i] < 0 || math.IsNaN(values[i]) {
+			panic(fmt.Sprintf("dist: NewDiscrete value[%d] = %g", i, values[i]))
+		}
+		if i > 0 && values[i] <= values[i-1] {
+			panic(fmt.Sprintf("dist: NewDiscrete values not strictly ascending at %d: %g <= %g",
+				i, values[i], values[i-1]))
+		}
+		total += w
+	}
+	if !(total > 0) {
+		panic("dist: NewDiscrete needs a positive total weight")
+	}
+	d := &Discrete{
+		values:  make([]float64, 0, len(values)),
+		weights: make([]float64, 0, len(values)),
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		d.values = append(d.values, values[i])
+		d.weights = append(d.weights, w/total)
+	}
+	d.ccdf = make([]float64, len(d.values))
+	tail := 0.0
+	for i := len(d.values) - 1; i >= 0; i-- {
+		d.ccdf[i] = tail
+		tail += d.weights[i]
+		d.mean += d.values[i] * d.weights[i]
+	}
+	return d
+}
+
+// NewDiscreteFromPMF wraps a pmf in the Discretize layout (pmf[s] is
+// P{S = s packets}, pmf[0] unused) — the round trip
+// NewDiscreteFromPMF(Discretize(d, max)) is the discretized view of d as
+// a SizeDist.
+func NewDiscreteFromPMF(pmf []float64) *Discrete {
+	if len(pmf) < 2 {
+		panic(fmt.Sprintf("dist: NewDiscreteFromPMF needs pmf of length >= 2, got %d", len(pmf)))
+	}
+	values := make([]float64, len(pmf)-1)
+	for s := 1; s < len(pmf); s++ {
+		values[s-1] = float64(s)
+	}
+	return NewDiscrete(values, pmf[1:])
+}
+
+// Len returns the number of atoms with positive probability.
+func (d *Discrete) Len() int { return len(d.values) }
+
+// Atoms appends the (value, probability) pairs to the given slices and
+// returns them; the values are ascending and the probabilities sum to 1.
+func (d *Discrete) Atoms(values, weights []float64) ([]float64, []float64) {
+	return append(values, d.values...), append(weights, d.weights...)
+}
+
+// CCDF returns P{S > x}.
+func (d *Discrete) CCDF(x float64) float64 {
+	// First atom strictly greater than x; all mass from there up counts.
+	idx := sort.SearchFloat64s(d.values, x)
+	for idx < len(d.values) && d.values[idx] <= x {
+		idx++
+	}
+	if idx == 0 {
+		return 1
+	}
+	return d.ccdf[idx-1]
+}
+
+// QuantileCCDF returns the generalized inverse of the step CCDF,
+// inf{x : CCDF(x) <= u}, clamped to the support: u near 0 returns the
+// largest atom, u >= 1 the smallest.
+func (d *Discrete) QuantileCCDF(u float64) float64 {
+	if u >= 1 {
+		return d.values[0]
+	}
+	// ccdf is strictly decreasing over the kept atoms; find the first atom
+	// whose tail-beyond probability is <= u.
+	idx := sort.Search(len(d.ccdf), func(i int) bool { return d.ccdf[i] <= u })
+	if idx == len(d.values) {
+		idx = len(d.values) - 1
+	}
+	return d.values[idx]
+}
+
+// Mean returns the weighted mean of the atoms.
+func (d *Discrete) Mean() float64 { return d.mean }
+
+// Rand draws one atom by inverse-CDF lookup.
+func (d *Discrete) Rand(g *randx.RNG) float64 {
+	u := g.Float64() // uniform in [0, 1)
+	// Draw the atom whose CCDF interval contains u: atom i covers
+	// [ccdf[i], ccdf[i-1]) of upper-tail mass.
+	idx := sort.Search(len(d.ccdf), func(i int) bool { return d.ccdf[i] <= u })
+	if idx == len(d.values) {
+		idx = len(d.values) - 1
+	}
+	return d.values[idx]
+}
+
+func (d *Discrete) String() string {
+	return fmt.Sprintf("discrete(atoms=%d, mean=%.4g)", len(d.values), d.mean)
+}

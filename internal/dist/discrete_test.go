@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"flowrank/internal/randx"
+)
+
+func TestNewDiscreteNormalizesAndDropsZeros(t *testing.T) {
+	d := NewDiscrete([]float64{1, 3, 7, 20}, []float64{2, 0, 1, 1})
+	if d.Len() != 3 {
+		t.Errorf("Len() = %d, want 3 (zero-weight atom dropped)", d.Len())
+	}
+	values, weights := d.Atoms(nil, nil)
+	if len(values) != 3 || values[0] != 1 || values[1] != 7 || values[2] != 20 {
+		t.Errorf("atoms %v", values)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-15 {
+		t.Errorf("weights sum to %g", sum)
+	}
+	if math.Abs(weights[0]-0.5) > 1e-15 {
+		t.Errorf("weight[0] = %g, want 0.5 after normalization", weights[0])
+	}
+	if want := 0.5*1 + 0.25*7 + 0.25*20; math.Abs(d.Mean()-want) > 1e-12 {
+		t.Errorf("Mean() = %g, want %g", d.Mean(), want)
+	}
+}
+
+func TestDiscreteCCDFSteps(t *testing.T) {
+	d := NewDiscrete([]float64{2, 5, 9}, []float64{0.5, 0.3, 0.2})
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1.999, 1}, {2, 0.5}, {4.5, 0.5}, {5, 0.2}, {8.999, 0.2}, {9, 0}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := d.CCDF(c.x); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("CCDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	// Quantile is the generalized inverse of that step function.
+	qcases := []struct{ u, want float64 }{
+		{1, 2}, {0.9, 2}, {0.5, 2}, {0.4, 5}, {0.2, 5}, {0.1, 9}, {0, 9},
+	}
+	for _, c := range qcases {
+		if got := d.QuantileCCDF(c.u); got != c.want {
+			t.Errorf("QuantileCCDF(%g) = %g, want %g", c.u, got, c.want)
+		}
+	}
+}
+
+func TestDiscreteRandMatchesWeights(t *testing.T) {
+	d := NewDiscrete([]float64{1, 10, 100}, []float64{0.6, 0.3, 0.1})
+	g := randx.New(17)
+	counts := map[float64]int{}
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[d.Rand(g)]++
+	}
+	for v, want := range map[float64]float64{1: 0.6, 10: 0.3, 100: 0.1} {
+		got := float64(counts[v]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("atom %g drawn with frequency %g, want %g", v, got, want)
+		}
+	}
+}
+
+func TestNewDiscreteFromPMFLayout(t *testing.T) {
+	// pmf[s] = P{S = s}, pmf[0] unused — the Discretize layout.
+	d := NewDiscreteFromPMF([]float64{99, 0.25, 0.5, 0.25})
+	if d.Len() != 3 || d.Mean() != 2 {
+		t.Errorf("len %d mean %g, want 3 atoms with mean 2", d.Len(), d.Mean())
+	}
+	if got := d.CCDF(1); math.Abs(got-0.75) > 1e-15 {
+		t.Errorf("CCDF(1) = %g, want 0.75", got)
+	}
+}
+
+func TestDiscreteRoundTripsDiscretize(t *testing.T) {
+	// NewDiscreteFromPMF(Discretize(law, max)) is the discretized view of
+	// the law: means and tail probabilities must agree to discretization
+	// accuracy.
+	law := ParetoWithMean(9.6, 1.5)
+	const max = 2000
+	d := NewDiscreteFromPMF(Discretize(law, max))
+	if rel := math.Abs(d.Mean()-law.Mean()) / law.Mean(); rel > 0.05 {
+		t.Errorf("discretized mean %g vs %g (%.1f%% off)", d.Mean(), law.Mean(), 100*rel)
+	}
+	// Discretize bins the continuous mass at half-integer edges, so the
+	// atom CCDF at integer x is the law's CCDF at x + 0.5.
+	for _, x := range []float64{5, 20, 100, 900} {
+		if diff := math.Abs(d.CCDF(x) - law.CCDF(x+0.5)); diff > 0.005 {
+			t.Errorf("CCDF(%g): discrete %g vs law %g", x, d.CCDF(x), law.CCDF(x+0.5))
+		}
+	}
+}
+
+func TestNewDiscreteInvalidInputs(t *testing.T) {
+	mustPanic(t, func() { NewDiscrete(nil, nil) })
+	mustPanic(t, func() { NewDiscrete([]float64{1, 2}, []float64{1}) })
+	mustPanic(t, func() { NewDiscrete([]float64{1, 1}, []float64{1, 1}) })    // not ascending
+	mustPanic(t, func() { NewDiscrete([]float64{-1, 2}, []float64{1, 1}) })   // negative value
+	mustPanic(t, func() { NewDiscrete([]float64{1, 2}, []float64{1, -1}) })   // negative weight
+	mustPanic(t, func() { NewDiscrete([]float64{1, 2}, []float64{0, 0}) })    // zero total
+	mustPanic(t, func() { NewDiscrete([]float64{1}, []float64{math.NaN()}) }) // NaN weight
+	mustPanic(t, func() { NewDiscrete([]float64{math.NaN()}, []float64{1}) }) // NaN value
+	mustPanic(t, func() { NewDiscreteFromPMF([]float64{1}) })                 // no sizes
+}

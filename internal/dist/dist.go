@@ -52,5 +52,6 @@ var (
 	_ SizeDist = Weibull{}
 	_ SizeDist = Lognormal{}
 	_ SizeDist = (*Empirical)(nil)
+	_ SizeDist = (*Discrete)(nil)
 	_ SizeDist = (*Mixture)(nil)
 )

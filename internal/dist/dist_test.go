@@ -31,11 +31,46 @@ func laws(t *testing.T) []SizeDist {
 	}
 }
 
+// stepLaws returns one representative of every discrete (step-CCDF) law
+// in the exact shapes the inversion subsystem (internal/invert) produces:
+// a rescaled empirical sample (naive scaling), a weighted Discrete over a
+// support grid (EM), a discretized parametric law, and an empirical body
+// spliced with a Pareto tail (tail scaling). They share the law property
+// suite except the exact CCDF/quantile inversion, which for step CCDFs
+// weakens to the generalized-inverse sandwich.
+func stepLaws(t *testing.T) []SizeDist {
+	t.Helper()
+	g := randx.New(9)
+	body := make([]float64, 400)
+	for i := range body {
+		body[i] = math.Round(ExponentialWithMean(1, 20).Rand(g))
+	}
+	spliced, err := NewMixture(
+		Component{Weight: 0.95, Dist: NewEmpirical(body)},
+		Component{Weight: 0.05, Dist: Pareto{Scale: 120, Shape: 1.6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []SizeDist{
+		NewEmpirical([]float64{10, 20, 20, 30, 70, 200, 1100}),
+		NewDiscrete([]float64{1, 2, 5, 17, 80, 4000}, []float64{0.35, 0.3, 0.2, 0.1, 0.04, 0.01}),
+		NewDiscreteFromPMF(Discretize(ParetoWithMean(9.6, 1.5), 300)),
+		spliced,
+	}
+}
+
+// allLaws is every law, continuous and step, for the shared properties.
+func allLaws(t *testing.T) []SizeDist {
+	t.Helper()
+	return append(laws(t), stepLaws(t)...)
+}
+
 // uGrid spans twelve decades of upper-tail probability.
 var uGrid = []float64{1e-12, 1e-9, 1e-6, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
 
 func TestCCDFMonotoneNonIncreasing(t *testing.T) {
-	for _, d := range laws(t) {
+	for _, d := range allLaws(t) {
 		// Probe sizes across the whole quantile range plus the edges.
 		xs := []float64{0, 0.5, 1}
 		for _, u := range uGrid {
@@ -74,8 +109,32 @@ func TestQuantileCCDFInvertsCCDF(t *testing.T) {
 	}
 }
 
+// TestQuantileCCDFSandwichOnStepLaws is the step-CCDF version of the
+// inversion property: the generalized inverse x = QuantileCCDF(u) cannot
+// hit CCDF(x) = u exactly at a jump, so the property weakens to the
+// sandwich CCDF(x + eps) <= u <= CCDF(x - eps) — the returned point
+// straddles the jump where the CCDF crosses u (bisection on a mixture may
+// land within a ulp on either side of the atom, hence probing both sides).
+func TestQuantileCCDFSandwichOnStepLaws(t *testing.T) {
+	for _, d := range stepLaws(t) {
+		for _, u := range uGrid {
+			x := d.QuantileCCDF(u)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s: QuantileCCDF(%g) = %g", d, u, x)
+			}
+			eps := 1e-9 * math.Max(1, math.Abs(x))
+			if c := d.CCDF(x + eps); c > u+1e-9 {
+				t.Errorf("%s: CCDF(%g + eps) = %g above u = %g", d, x, c, u)
+			}
+			if c := d.CCDF(x - eps); c < math.Min(u, 1)-1e-9 {
+				t.Errorf("%s: CCDF(%g - eps) = %g below u = %g", d, x, c, u)
+			}
+		}
+	}
+}
+
 func TestQuantileCCDFMonotoneNonIncreasing(t *testing.T) {
-	for _, d := range laws(t) {
+	for _, d := range allLaws(t) {
 		prev := math.Inf(1)
 		for _, u := range uGrid {
 			x := d.QuantileCCDF(u)
@@ -92,7 +151,7 @@ func TestRandMeansConvergeToMean(t *testing.T) {
 	// tails with beta <= 2 have infinite variance, so their band is the
 	// generous one the tracegen calibration test also uses; the
 	// finite-variance laws get a tight band.
-	for i, d := range laws(t) {
+	for i, d := range allLaws(t) {
 		g := randx.New(uint64(1000 + i))
 		const n = 300_000
 		var sum float64
@@ -121,7 +180,7 @@ func TestRandMeansConvergeToMean(t *testing.T) {
 }
 
 func TestRandDeterministicGivenSeed(t *testing.T) {
-	for _, d := range laws(t) {
+	for _, d := range allLaws(t) {
 		a, b := randx.New(42), randx.New(42)
 		for j := 0; j < 100; j++ {
 			if va, vb := d.Rand(a), d.Rand(b); va != vb {
@@ -132,7 +191,7 @@ func TestRandDeterministicGivenSeed(t *testing.T) {
 }
 
 func TestRandRespectsSupportMinimum(t *testing.T) {
-	for _, d := range laws(t) {
+	for _, d := range allLaws(t) {
 		lo := d.QuantileCCDF(1)
 		g := randx.New(7)
 		for j := 0; j < 10_000; j++ {

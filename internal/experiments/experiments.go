@@ -63,6 +63,7 @@ var registry = map[string]struct {
 	"bounded":  {extraBounded, "extension: bounded-memory ranking (future work #1)"},
 	"seqest":   {extraSeqest, "extension: TCP sequence-number size refinement (future work #2)"},
 	"adaptive": {extraAdaptive, "extension: adaptive sampling-rate controller (future work #3)"},
+	"invert":   {extraInvert, "extension: flow-size distribution inversion from sampled counts"},
 }
 
 // IDs returns all experiment ids in a stable order.

@@ -11,7 +11,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	want := 16 + 5 // figures + extras
+	want := 16 + 6 // figures + extras
 	if len(ids) != want {
 		t.Errorf("%d experiment ids, want %d: %v", len(ids), want, ids)
 	}
@@ -151,6 +151,24 @@ func TestExtrasRun(t *testing.T) {
 	}
 	for _, id := range []string{"kernels", "bounded", "seqest", "adaptive"} {
 		runAndRender(t, id)
+	}
+}
+
+// TestInvertExperiment: the inversion comparison must run at reduced
+// scale and show EM beating the naive 1/p baseline in distribution
+// distance on every (law, rate) cell — the qualitative shape the figure
+// exists to demonstrate.
+func TestInvertExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inversion sweep takes seconds")
+	}
+	tabs := runAndRender(t, "invert")
+	for _, row := range tabs[0].Rows {
+		naiveKS := mustFloat(t, row[2])
+		emKS := mustFloat(t, row[4])
+		if !(emKS < naiveKS) {
+			t.Errorf("%s p=%s: EM KS %g not below naive %g", row[0], row[1], emKS, naiveKS)
+		}
 	}
 }
 

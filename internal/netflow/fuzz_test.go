@@ -1,0 +1,157 @@
+package netflow
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/randx"
+)
+
+// fuzzSeedDatagram is a valid single-record datagram for the decode
+// corpus.
+func fuzzSeedDatagram(f *testing.F) []byte {
+	f.Helper()
+	hdr := Header{
+		SysUptimeMillis: 123456, UnixSecs: 1_100_000_000, UnixNsecs: 42,
+		FlowSequence: 7, EngineType: 1, EngineID: 2,
+		SamplingMode: 1, SamplingInterval: 100,
+	}
+	recs := []Record{{
+		Key: flow.Key{
+			Src: flow.Addr{10, 0, 0, 1}, Dst: flow.Addr{192, 168, 1, 2},
+			SrcPort: 49152, DstPort: 443, Proto: flow.ProtoTCP,
+		},
+		NextHop: flow.Addr{10, 0, 0, 254}, InputSNMP: 3, OutputSNMP: 4,
+		Packets: 500, Octets: 320_000, FirstMillis: 1000, LastMillis: 61_000,
+		TCPFlags: 0x12, TOS: 8, SrcAS: 64512, DstAS: 64513, SrcMask: 24, DstMask: 16,
+	}}
+	buf, err := AppendDatagram(nil, hdr, recs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzDecodeDatagram: decoding arbitrary bytes must never panic, and any
+// datagram that decodes must survive the re-encode/re-decode round trip
+// with identical header and records — the decoder and encoder agree on
+// every field and pad byte the format can carry.
+func FuzzDecodeDatagram(f *testing.F) {
+	seed := fuzzSeedDatagram(f)
+	f.Add(seed)
+	f.Add(seed[:HeaderLen])                      // header only, zero records
+	f.Add(seed[:HeaderLen-1])                    // truncated header
+	f.Add(append([]byte{}, seed[:HeaderLen]...)) // mutated below by the engine
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderLen+RecordLen))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, recs, err := DecodeDatagram(data)
+		if err != nil {
+			return
+		}
+		if hdr.Count != len(recs) {
+			t.Fatalf("decoded %d records for count %d", len(recs), hdr.Count)
+		}
+		if hdr.Count > MaxRecordsPerPack {
+			return // a valid decode of an over-long datagram; re-encoding splits it
+		}
+		out, err := AppendDatagram(nil, hdr, recs)
+		if err != nil {
+			t.Fatalf("re-encoding decoded datagram: %v", err)
+		}
+		hdr2, recs2, err := DecodeDatagram(out)
+		if err != nil {
+			t.Fatalf("re-decoding: %v", err)
+		}
+		if hdr2 != hdr {
+			t.Fatalf("header drifted through round trip:\ngot  %+v\nwant %+v", hdr2, hdr)
+		}
+		if !reflect.DeepEqual(recs2, recs) {
+			t.Fatalf("records drifted through round trip:\ngot  %+v\nwant %+v", recs2, recs)
+		}
+	})
+}
+
+// FuzzExportRoundTrip: Export of any record list under any header either
+// rejects out-of-range sampling fields or produces datagrams that decode
+// back to exactly the input records with consecutive sequence numbers.
+func FuzzExportRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(100), uint8(1), uint16(3))
+	f.Add(uint64(99), uint16(MaxSamplingInterval), uint8(MaxSamplingMode), uint16(31)) // datagram split
+	f.Add(uint64(2), uint16(MaxSamplingInterval+1), uint8(0), uint16(1))               // over-wide interval
+	f.Add(uint64(3), uint16(0), uint8(MaxSamplingMode+1), uint16(1))                   // over-wide mode
+	f.Add(uint64(4), uint16(1), uint8(0), uint16(0))                                   // no records
+	f.Fuzz(func(t *testing.T, seed uint64, interval uint16, mode uint8, n uint16) {
+		n %= 100
+		g := randx.New(seed)
+		records := make([]Record, n)
+		for i := range records {
+			r := &records[i]
+			for b := 0; b < 4; b++ {
+				r.Key.Src[b] = byte(g.Uint64())
+				r.Key.Dst[b] = byte(g.Uint64())
+				r.NextHop[b] = byte(g.Uint64())
+			}
+			r.Key.SrcPort = uint16(g.Uint64())
+			r.Key.DstPort = uint16(g.Uint64())
+			r.Key.Proto = flow.Proto(g.Uint64())
+			r.InputSNMP = uint16(g.Uint64())
+			r.OutputSNMP = uint16(g.Uint64())
+			r.Packets = uint32(g.Uint64())
+			r.Octets = uint32(g.Uint64())
+			r.FirstMillis = uint32(g.Uint64())
+			r.LastMillis = uint32(g.Uint64())
+			r.TCPFlags = byte(g.Uint64())
+			r.TOS = byte(g.Uint64())
+			r.SrcAS = uint16(g.Uint64())
+			r.DstAS = uint16(g.Uint64())
+			r.SrcMask = byte(g.Uint64())
+			r.DstMask = byte(g.Uint64())
+		}
+		hdr := Header{
+			SysUptimeMillis: uint32(seed), UnixSecs: uint32(seed >> 16),
+			FlowSequence: uint32(seed >> 32), EngineType: byte(seed), EngineID: byte(seed >> 8),
+			SamplingMode: mode, SamplingInterval: interval,
+		}
+		grams, err := Export(hdr, records)
+		badSampling := interval > MaxSamplingInterval || mode > MaxSamplingMode
+		if badSampling && n > 0 {
+			if err == nil {
+				t.Fatalf("out-of-range sampling fields (mode %d, interval %d) accepted", mode, interval)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		wantSeq := hdr.FlowSequence
+		for gi, buf := range grams {
+			h, rs, err := DecodeDatagram(buf)
+			if err != nil {
+				t.Fatalf("datagram %d: %v", gi, err)
+			}
+			if len(rs) == 0 || len(rs) > MaxRecordsPerPack {
+				t.Fatalf("datagram %d carries %d records", gi, len(rs))
+			}
+			if h.FlowSequence != wantSeq {
+				t.Fatalf("datagram %d sequence %d, want %d", gi, h.FlowSequence, wantSeq)
+			}
+			wantSeq += uint32(len(rs))
+			if h.SamplingMode != mode || h.SamplingInterval != interval {
+				t.Fatalf("datagram %d sampling fields drifted: %+v", gi, h)
+			}
+			got = append(got, rs...)
+		}
+		if len(got) != len(records) {
+			t.Fatalf("%d records round-tripped, want %d", len(got), len(records))
+		}
+		for i := range records {
+			if got[i] != records[i] {
+				t.Fatalf("record %d drifted:\ngot  %+v\nwant %+v", i, got[i], records[i])
+			}
+		}
+	})
+}

@@ -25,6 +25,12 @@ const (
 	versionMinor      = 4
 	globalHeaderLen   = 24
 	packetHeaderLen   = 16
+	// maxRecordLen caps a record's claimed captured length. A corrupt
+	// header (or one whose snap length is itself corrupt) can claim a
+	// multi-gigabyte packet; that must fail parsing, not allocate the
+	// claim. Real captures snap at 64 KiB — 64 MiB is far beyond any
+	// valid record.
+	maxRecordLen = 1 << 26
 )
 
 // ErrNotPcap is returned when the stream does not begin with a known pcap
@@ -176,6 +182,9 @@ func (r *Reader) Next() (Packet, error) {
 	origLen := r.order.Uint32(hdr[12:16])
 	if inclLen > r.header.SnapLen && r.header.SnapLen > 0 {
 		return Packet{}, fmt.Errorf("pcap: record length %d exceeds snap length %d", inclLen, r.header.SnapLen)
+	}
+	if inclLen > maxRecordLen {
+		return Packet{}, fmt.Errorf("pcap: record length %d exceeds the %d-byte sanity cap", inclLen, uint32(maxRecordLen))
 	}
 	if cap(r.buf) < int(inclLen) {
 		r.buf = make([]byte, inclLen)

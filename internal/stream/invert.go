@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"flowrank/internal/flow"
+	"flowrank/internal/invert"
+)
+
+// InversionCheckpoints are the upper-tail probabilities at which every
+// InversionSummary reports the estimated size quantiles: the median, the
+// top decile, the top percent, and the top 0.1% — the body-to-tail
+// checkpoints a monitor operator reads off a CCDF plot.
+var InversionCheckpoints = [4]float64{0.5, 0.1, 0.01, 0.001}
+
+// InversionSummary is the per-bin output of the optional inversion stage:
+// the bin's sampled per-flow packet counts run through the configured
+// invert.Estimator at the sampler's rate, summarized as scalars so the
+// result is cheap to keep per bin. It obeys the engine's determinism
+// contract — bit-identical for any worker count and batch size — because
+// the input is the merged multiset of sampled counts (estimators are
+// order-invariant) and the estimate is reduced to checkpoints in a fixed
+// order.
+type InversionSummary struct {
+	// Method names the estimator ("naive", "tail", "em", "parametric").
+	Method string
+	// Mean is the estimated mean original flow size in packets.
+	Mean float64
+	// TailIndex is the fitted Pareto tail exponent (0 when not
+	// identifiable).
+	TailIndex float64
+	// FlowCount estimates the number of original flows, including the
+	// flows sampling missed.
+	FlowCount float64
+	// Quantiles are the estimated original size quantiles at the
+	// upper-tail probabilities InversionCheckpoints.
+	Quantiles [4]float64
+	// Err carries the estimator's error when the bin could not be
+	// inverted (for example too few sampled flows for a tail fit); the
+	// other fields are zero then.
+	Err string
+}
+
+// summarizeInversion runs the estimator over the bin's sampled counts.
+// Map iteration order does not matter: estimators canonicalize their
+// input, so the summary depends only on the multiset of counts.
+func summarizeInversion(est invert.Estimator, sampled map[flow.Key]int64, rate float64) *InversionSummary {
+	s := &InversionSummary{Method: est.Name()}
+	if len(sampled) == 0 {
+		s.Err = "no sampled flows"
+		return s
+	}
+	counts := make([]float64, 0, len(sampled))
+	for _, c := range sampled {
+		counts = append(counts, float64(c))
+	}
+	e, err := est.Invert(counts, rate)
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	s.Mean = e.Mean
+	s.TailIndex = e.TailIndex
+	s.FlowCount = e.FlowCount
+	for i, u := range InversionCheckpoints {
+		s.Quantiles[i] = e.Dist.QuantileCCDF(u)
+	}
+	return s
+}

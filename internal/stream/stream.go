@@ -28,6 +28,7 @@ import (
 
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
+	"flowrank/internal/invert"
 	"flowrank/internal/metrics"
 	"flowrank/internal/packet"
 	"flowrank/internal/sampler"
@@ -51,6 +52,13 @@ type Config struct {
 	// send; 0 means a sensible default. Smaller batches lower latency,
 	// larger ones lower coordination overhead.
 	BatchSize int
+	// Inverter, when non-nil, estimates the original flow-size
+	// distribution of every bin from its sampled counts at the sampler's
+	// rate (Sampler.Rate()) and attaches the result to
+	// BinResult.Inversion. The summary is part of the engine's
+	// bit-identical contract: it depends only on the merged multiset of
+	// sampled counts, never on worker count or batch size.
+	Inverter invert.Estimator
 }
 
 // BinResult is the merged measurement of one non-empty bin.
@@ -73,6 +81,9 @@ type BinResult struct {
 	// Totals of the original and sampled tables.
 	OrigPackets, OrigBytes       int64
 	SampledPackets, SampledBytes int64
+	// Inversion is the estimated original flow-size distribution of the
+	// bin, present only when Config.Inverter is set.
+	Inversion *InversionSummary
 }
 
 // item is one packet after the reader stage: key aggregated, sampling
@@ -372,6 +383,9 @@ func (e *Engine) mergeBin(sums []shardSummary) BinResult {
 		}
 	}
 	r.Pairs = metrics.CountSwapped(r.Orig, r.Sampled, e.cfg.TopT)
+	if e.cfg.Inverter != nil {
+		r.Inversion = summarizeInversion(e.cfg.Inverter, r.Sampled, e.cfg.Sampler.Rate())
+	}
 	return r
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
+	"flowrank/internal/invert"
 	"flowrank/internal/metrics"
 	"flowrank/internal/packet"
 	"flowrank/internal/packetgen"
@@ -162,6 +163,67 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 			cfg.BatchSize = batch
 			got := runEngine(t, cfg, pkts)
 			compareBins(t, fmt.Sprintf("workers=%d batch=%d", workers, batch), got, want)
+		}
+	}
+}
+
+// TestEngineInversionSummaryInvariance: the optional per-bin inversion
+// summary joins the engine's bit-identical contract — Workers in {1, 4}
+// and any batch size must produce exactly equal summaries for every
+// estimator, even though the sampled counts reach the inverter through a
+// merged map whose iteration order varies run to run.
+func TestEngineInversionSummaryInvariance(t *testing.T) {
+	pkts := makePackets(t, 15, 200, 13)
+	base := func(est invert.Estimator) Config {
+		return Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(0.1, 29),
+			BinSeconds: 5,
+			TopT:       10,
+			Workers:    1,
+			Inverter:   est,
+		}
+	}
+	for _, est := range []invert.Estimator{invert.Naive{}, invert.TailScaling{}, invert.EM{}, invert.Parametric{}} {
+		want := runEngine(t, base(est), pkts)
+		if len(want) < 3 {
+			t.Fatalf("%s: degenerate trace: only %d bins", est.Name(), len(want))
+		}
+		inverted := 0
+		for _, b := range want {
+			inv := b.Inversion
+			if inv == nil {
+				t.Fatalf("%s: bin %d missing inversion summary", est.Name(), b.Bin)
+			}
+			if inv.Method != est.Name() {
+				t.Errorf("%s: bin %d summary method %q", est.Name(), b.Bin, inv.Method)
+			}
+			if inv.Err != "" {
+				continue // too few flows for this estimator: still deterministic
+			}
+			inverted++
+			if !(inv.Mean > 0) || !(inv.FlowCount >= float64(b.SampledFlows)) {
+				t.Errorf("%s: bin %d implausible summary %+v (sampled flows %d)",
+					est.Name(), b.Bin, inv, b.SampledFlows)
+			}
+			for i := 1; i < len(inv.Quantiles); i++ {
+				if inv.Quantiles[i] < inv.Quantiles[i-1] {
+					t.Errorf("%s: bin %d quantile checkpoints not ascending: %v",
+						est.Name(), b.Bin, inv.Quantiles)
+				}
+			}
+		}
+		if inverted == 0 {
+			t.Fatalf("%s: no bin produced a successful inversion", est.Name())
+		}
+		for _, workers := range []int{4} {
+			for _, batch := range []int{3, 512} {
+				cfg := base(est)
+				cfg.Workers = workers
+				cfg.BatchSize = batch
+				got := runEngine(t, cfg, pkts)
+				compareBins(t, fmt.Sprintf("%s workers=%d batch=%d", est.Name(), workers, batch), got, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Coverage ratchet: run the short suite with a coverage profile and fail
+# when total statement coverage drops more than RATCHET_SLACK points
+# below the committed baseline (.coverage-baseline). When coverage rises,
+# raise the baseline:
+#
+#     ./scripts/coverage_ratchet.sh update
+#
+# CI runs this after the unit suite and uploads coverage.out as an
+# artifact; locally: make cover.
+set -eu
+
+profile="${COVER_PROFILE:-coverage.out}"
+baseline_file=".coverage-baseline"
+slack="${RATCHET_SLACK:-1.0}"
+
+go test -short -count=1 -coverprofile="$profile" ./...
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+if [ -z "$total" ]; then
+    echo "coverage_ratchet: no total in $profile" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "update" ]; then
+    printf '%s\n' "$total" >"$baseline_file"
+    echo "coverage baseline set to ${total}%"
+    exit 0
+fi
+
+if [ ! -f "$baseline_file" ]; then
+    echo "coverage_ratchet: missing $baseline_file (run '$0 update' once)" >&2
+    exit 1
+fi
+base="$(cat "$baseline_file")"
+
+awk -v t="$total" -v b="$base" -v s="$slack" 'BEGIN {
+    if (t + 0 < b - s) {
+        printf "coverage %.1f%% dropped more than %.1f pt below the committed baseline %.1f%%\n", t, s, b
+        exit 1
+    }
+    printf "coverage %.1f%% (baseline %.1f%%, ratchet slack %.1f pt)\n", t, b, s
+    if (t + 0 > b + s) {
+        printf "tip: coverage rose; consider ratcheting with '\''%s update'\''\n", "scripts/coverage_ratchet.sh"
+    }
+}'
