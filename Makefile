@@ -38,10 +38,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# The subset CI's bench-smoke job runs, plus the machine-readable record.
+# The subset CI's bench-smoke job runs, plus the machine-readable records
+# (the kernels model figure and the network-wide coordination figure).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine' -benchtime 1x
+	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine|NetworkCoord' -benchtime 1x
 	$(GO) run ./cmd/flowrank-bench -fig kernels -json
+	$(GO) run ./cmd/flowrank-bench -fig coord -json
 
 # End-to-end flowtop cross-check: sequential vs sharded output must be
 # byte-identical on both trace formats (native and pcap).

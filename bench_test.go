@@ -57,6 +57,7 @@ func BenchmarkAblationFastpath(b *testing.B)  { benchFigure(b, "fastpath") }
 func BenchmarkExtensionBounded(b *testing.B)  { benchFigure(b, "bounded") }
 func BenchmarkExtensionSeqest(b *testing.B)   { benchFigure(b, "seqest") }
 func BenchmarkExtensionAdaptive(b *testing.B) { benchFigure(b, "adaptive") }
+func BenchmarkExtensionCoord(b *testing.B)    { benchFigure(b, "coord") }
 
 // --- public API micro-benchmarks -----------------------------------------
 
@@ -115,6 +116,49 @@ func BenchmarkStreamPackets(b *testing.B) {
 		StreamPackets(records, uint64(i), func(Packet) error { n++; return nil })
 	}
 	b.ReportMetric(float64(n), "packets/op")
+}
+
+// BenchmarkNetworkCoordSimulate measures the network-wide pipeline at the
+// reduced fat-tree scale: allocation (uniform and coordinated, sharing
+// one demand's model curves) plus one simulated run each. It is part of
+// the CI bench-smoke regex, so the coordination hot path has a recorded
+// trajectory.
+func BenchmarkNetworkCoordSimulate(b *testing.B) {
+	topo := FatTreeTopology(1)
+	cfg := SprintFiveTuple(10, 3)
+	cfg.ArrivalRate = 150
+	flows, err := GenerateNetworkWorkload(topo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand, err := ObserveNetwork(topo, flows, 0.1, EMInverter{}, 10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budgets := map[string]float64{}
+	for sw, load := range NetworkOfferedLoads(demand) {
+		budgets[sw] = 0.02 * load
+	}
+	if err := topo.SetBudgets(budgets); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, alloc := range []Allocator{UniformAllocator{}, CoordinatedAllocator{}} {
+			a, err := AllocateRates(demand, alloc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := NetworkRank(topo, flows, a, 10, 1, uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !(res.RankFrac >= 0) {
+				b.Fatal("degenerate result")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(flows)), "flows/op")
 }
 
 // BenchmarkStreamEngine measures the sharded streaming monitor's

@@ -15,6 +15,14 @@
 //	flowtop -in trace.pkts -p 0.01 -t 10 -bin 60
 //	flowtop -in trace.pcap -pcap -p 0.1 -t 5 -agg prefix24
 //	flowtop -in trace.pkts -p 0.01 -netflow flows.nf5 -workers 4
+//	flowtop -in trace.pkts -p 0.1 -adapt 1 -invert em
+//
+// With -adapt <target> the monitor closes the loop of the paper's §9:
+// after every bin it feeds the bin's inversion summary into the adaptive
+// controller and retunes the live sampling rate to the cheapest one whose
+// predicted ranking metric stays at or below the target. Rate changes
+// happen only at bin boundaries, on the reader goroutine, so the output
+// stays bit-identical for any worker count.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"os"
 	"runtime"
 
+	"flowrank/internal/adaptive"
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
 	"flowrank/internal/invert"
@@ -52,6 +61,7 @@ type options struct {
 	nfOut   string
 	workers int
 	invert  string
+	adapt   float64
 }
 
 func main() {
@@ -68,6 +78,7 @@ func main() {
 	flag.StringVar(&opts.nfOut, "netflow", "", "write sampled ranking as NetFlow v5 datagrams")
 	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "shard workers for the streaming engine")
 	flag.StringVar(&opts.invert, "invert", "", "estimate the original flow-size distribution per bin: naive, tail, em, or parametric")
+	flag.Float64Var(&opts.adapt, "adapt", 0, "closed-loop target for the §5 ranking metric: after every bin, refit the model to the bin's inversion and set the next bin's sampling rate to the cheapest one meeting the target (0 disables; implies -invert parametric unless -invert is set)")
 	flag.Parse()
 	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
@@ -98,15 +109,32 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if opts.adapt > 0 && opts.invert == "" {
+		// The closed loop needs a per-bin inversion to refit the model;
+		// the parametric fixed point is the cheapest one.
+		opts.invert = "parametric"
+	}
 	inverter, err := inverterByName(opts.invert)
 	if err != nil {
 		return err
 	}
+	ctl := adaptive.Controller{Target: opts.adapt, TopT: opts.topT, Workers: opts.workers}
 
-	var nfRecords []netflow.Record
+	// The sampler is held concretely so the closed loop can retune its
+	// rate between bins. The emit callback runs on the Feed goroutine —
+	// the same one making every sampling decision — so the update is
+	// reader-side and the engine's bit-identical-across-workers contract
+	// is untouched.
+	bern := sampler.NewBernoulli(opts.rate, opts.seed)
+	// NetFlow records are grouped per bin together with the rate the bin
+	// was sampled at: under -adapt the rate changes between bins, and a
+	// v5 header carries exactly one sampling interval, so each bin's
+	// records must be exported under the rate that produced them. The
+	// group is captured before adaptRate retunes the sampler.
+	var nfBins []netflowBin
 	eng, err := stream.NewEngine(stream.Config{
 		Agg:        agg,
-		Sampler:    sampler.NewBernoulli(opts.rate, opts.seed),
+		Sampler:    bern,
 		BinSeconds: opts.binSec,
 		TopT:       opts.topT,
 		Workers:    opts.workers,
@@ -120,9 +148,16 @@ func run(opts options, stdout, stderr io.Writer) error {
 				return err
 			}
 		}
-		if opts.nfOut != "" {
+		if opts.nfOut != "" && len(b.SampledTop) > 0 {
+			grp := netflowBin{rate: bern.P}
 			for _, e := range b.SampledTop {
-				nfRecords = append(nfRecords, netflowRecord(e))
+				grp.records = append(grp.records, netflowRecord(e))
+			}
+			nfBins = append(nfBins, grp)
+		}
+		if opts.adapt > 0 {
+			if err := adaptRate(stdout, ctl, bern, b); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -152,12 +187,20 @@ func run(opts options, stdout, stderr io.Writer) error {
 	}
 
 	if opts.nfOut != "" {
-		if err := writeNetflow(opts.nfOut, opts.rate, nfRecords); err != nil {
+		total, err := writeNetflow(opts.nfOut, nfBins)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "wrote %d NetFlow v5 records to %s\n", len(nfRecords), opts.nfOut)
+		fmt.Fprintf(stderr, "wrote %d NetFlow v5 records to %s\n", total, opts.nfOut)
 	}
 	return nil
+}
+
+// netflowBin is one bin's export group: its sampled top records and the
+// sampling rate in effect while the bin was collected.
+type netflowBin struct {
+	rate    float64
+	records []netflow.Record
 }
 
 // inverterByName maps the -invert flag to an estimator; "" disables the
@@ -176,6 +219,36 @@ func inverterByName(name string) (invert.Estimator, error) {
 		return invert.Parametric{}, nil
 	}
 	return nil, fmt.Errorf("unknown -invert %q (want naive, tail, em, or parametric)", name)
+}
+
+// adaptRate is the closed loop of -adapt: feed the finished bin's
+// inversion summary into the controller and retune the live sampling rate
+// to the cheapest one whose predicted §5 ranking metric meets the target.
+// The new rate takes effect from the first packet of the next bin (the
+// engine flushes a bin before sampling the packet that opens the next
+// one). A bin whose inversion failed keeps the current rate — a monitor
+// must not lose its sampling budget to one degenerate bin. The line format
+// is pinned by the golden-file test.
+func adaptRate(w io.Writer, ctl adaptive.Controller, bern *sampler.Bernoulli, b stream.BinResult) error {
+	if b.Inversion == nil || b.Inversion.Estimate == nil {
+		reason := "no inversion"
+		if b.Inversion != nil {
+			reason = b.Inversion.Err
+		}
+		_, err := fmt.Fprintf(w, "adapt: keeping p=%.4g%% (%s)\n\n", bern.P*100, reason)
+		return err
+	}
+	next, model, err := ctl.RecommendEstimate(*b.Inversion.Estimate)
+	if err != nil {
+		return fmt.Errorf("adapt: bin %d: %w", b.Bin, err)
+	}
+	_, err = fmt.Fprintf(w, "adapt: p=%.4g%% -> %.4g%% (ranking<=%.4g over top %d of N=%d fitted flows)\n\n",
+		bern.P*100, next*100, ctl.Target, ctl.TopT, model.N)
+	if err != nil {
+		return err
+	}
+	bern.P = next
+	return nil
 }
 
 // printInversion renders the per-bin inversion summary under the bin
@@ -307,23 +380,34 @@ func samplingInterval(rate float64) uint16 {
 	return uint16(n)
 }
 
-func writeNetflow(path string, rate float64, records []netflow.Record) error {
-	grams, err := netflow.Export(netflow.Header{
-		SamplingMode:     1,
-		SamplingInterval: samplingInterval(rate),
-	}, records)
-	if err != nil {
-		return err
-	}
+// writeNetflow exports every bin group under its own sampling interval —
+// datagrams never span bins, so a consumer's 1-in-N rescaling stays
+// correct when -adapt moved the rate between bins. It returns the total
+// record count written.
+func writeNetflow(path string, bins []netflowBin) (int, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	for _, g := range grams {
-		if _, err := f.Write(g); err != nil {
-			return err
+	total := 0
+	for _, bin := range bins {
+		grams, err := netflow.Export(netflow.Header{
+			SamplingMode:     1,
+			SamplingInterval: samplingInterval(bin.rate),
+			// The v5 flow sequence keeps running across bins — collectors
+			// compute datagram loss from its deltas.
+			FlowSequence: uint32(total),
+		}, bin.records)
+		if err != nil {
+			return total, err
 		}
+		for _, g := range grams {
+			if _, err := f.Write(g); err != nil {
+				return total, err
+			}
+		}
+		total += len(bin.records)
 	}
-	return f.Close()
+	return total, f.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"flowrank/internal/flow"
@@ -84,15 +85,23 @@ func writeTraces(t *testing.T) (native, pcapPath string) {
 // TestShardedMatchesSequential is the PR's acceptance cross-check: the
 // sharded engine (workers=N) must produce byte-identical bin reports and
 // NetFlow output to the sequential path (workers=1) on the same seeded
-// trace, for both input formats.
+// trace, for both input formats — including the closed loop (-adapt),
+// whose rate updates happen on the reader goroutine and so must not
+// depend on the worker count either.
 func TestShardedMatchesSequential(t *testing.T) {
 	native, pcapPath := writeTraces(t)
 	dir := t.TempDir()
 	type variant struct {
 		in     string
 		isPcap bool
+		adapt  float64
 	}
-	for _, v := range []variant{{native, false}, {pcapPath, true}} {
+	for _, v := range []variant{{native, false, 0}, {pcapPath, true, 0}, {native, false, 1}} {
+		if v.adapt > 0 && testing.Short() {
+			// The closed loop runs a controller search per bin — tens of
+			// seconds under the race detector. The full suite covers it.
+			continue
+		}
 		var outs []string
 		var nfs [][]byte
 		for _, workers := range []int{1, 4} {
@@ -103,10 +112,10 @@ func TestShardedMatchesSequential(t *testing.T) {
 				rate: 0.2, topT: 5, binSec: 4,
 				aggName: "5tuple", seed: 9,
 				nfOut: nfPath, workers: workers,
-				invert: "em",
+				invert: "em", adapt: v.adapt,
 			}
 			if err := run(opts, &stdout, &stderr); err != nil {
-				t.Fatalf("pcap=%v workers=%d: %v", v.isPcap, workers, err)
+				t.Fatalf("pcap=%v adapt=%g workers=%d: %v", v.isPcap, v.adapt, workers, err)
 			}
 			raw, err := os.ReadFile(nfPath)
 			if err != nil {
@@ -116,15 +125,18 @@ func TestShardedMatchesSequential(t *testing.T) {
 			nfs = append(nfs, raw)
 		}
 		if outs[0] != outs[1] {
-			t.Errorf("pcap=%v: sequential and sharded bin reports differ:\n--- workers=1\n%s\n--- workers=4\n%s",
-				v.isPcap, outs[0], outs[1])
+			t.Errorf("pcap=%v adapt=%g: sequential and sharded bin reports differ:\n--- workers=1\n%s\n--- workers=4\n%s",
+				v.isPcap, v.adapt, outs[0], outs[1])
 		}
 		if !bytes.Equal(nfs[0], nfs[1]) {
-			t.Errorf("pcap=%v: sequential and sharded NetFlow exports differ (%d vs %d bytes)",
-				v.isPcap, len(nfs[0]), len(nfs[1]))
+			t.Errorf("pcap=%v adapt=%g: sequential and sharded NetFlow exports differ (%d vs %d bytes)",
+				v.isPcap, v.adapt, len(nfs[0]), len(nfs[1]))
 		}
 		if len(outs[0]) == 0 || len(nfs[0]) == 0 {
-			t.Fatalf("pcap=%v: degenerate run: no output", v.isPcap)
+			t.Fatalf("pcap=%v adapt=%g: degenerate run: no output", v.isPcap, v.adapt)
+		}
+		if v.adapt > 0 && !strings.Contains(outs[0], "adapt: ") {
+			t.Errorf("adapt=%g: no adapt line in output", v.adapt)
 		}
 	}
 }
@@ -149,6 +161,44 @@ func TestGoldenOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "flowtop_sprint12s_p20_em.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("stdout drifted from %s (regenerate with -update if intended):\n--- got\n%s\n--- want\n%s",
+			golden, stdout.String(), want)
+	}
+}
+
+// TestGoldenOutputAdapt pins the closed loop's stdout byte for byte: the
+// per-bin adapt lines (and through them the controller's recommendations)
+// become part of the output contract. Regenerate with:
+//
+//	go test ./cmd/flowtop -run TestGoldenOutputAdapt -update
+func TestGoldenOutputAdapt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop run takes seconds per bin")
+	}
+	native, _ := writeTraces(t)
+	var stdout, stderr bytes.Buffer
+	opts := options{
+		in: native, rate: 0.2, topT: 5, binSec: 4,
+		aggName: "5tuple", seed: 9, workers: 2,
+		invert: "em", adapt: 1,
+	}
+	if err := run(opts, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(stdout.String(), "adapt: "); n < 2 {
+		t.Fatalf("only %d adapt lines; the closed loop should fire once per bin:\n%s", n, stdout.String())
+	}
+	golden := filepath.Join("testdata", "flowtop_sprint12s_p20_em_adapt1.golden")
 	if *update {
 		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
@@ -267,8 +317,9 @@ func TestSamplingIntervalClamps(t *testing.T) {
 func TestWriteNetflowTinyRate(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tiny.nf5")
 	rec := netflowRecord(flowtable.Entry{Key: flow.Key{Src: flow.Addr{9, 9, 9, 9}}, Packets: 3, Bytes: 300})
-	if err := writeNetflow(path, 1.0/100000, []netflow.Record{rec}); err != nil {
-		t.Fatal(err)
+	n, err := writeNetflow(path, []netflowBin{{rate: 1.0 / 100000, records: []netflow.Record{rec}}})
+	if err != nil || n != 1 {
+		t.Fatal(n, err)
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -283,5 +334,47 @@ func TestWriteNetflowTinyRate(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Packets != 3 {
 		t.Errorf("records %+v", recs)
+	}
+}
+
+// TestWriteNetflowPerBinRates: when -adapt moves the rate between bins,
+// each bin's records must be exported under its own header interval —
+// a single header computed from the initial rate would make consumers
+// rescale every later bin wrongly.
+func TestWriteNetflowPerBinRates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adapt.nf5")
+	rec := func(packets int64) netflow.Record {
+		return netflowRecord(flowtable.Entry{Key: flow.Key{Src: flow.Addr{9, 9, 9, 9}}, Packets: packets, Bytes: packets})
+	}
+	n, err := writeNetflow(path, []netflowBin{
+		{rate: 0.2, records: []netflow.Record{rec(1)}},
+		{rate: 0.02, records: []netflow.Record{rec(2)}},
+	})
+	if err != nil || n != 2 {
+		t.Fatal(n, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intervals []uint16
+	var sequences []uint32
+	for len(raw) > 0 {
+		hdr, recs, err := netflow.DecodeDatagram(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intervals = append(intervals, hdr.SamplingInterval)
+		sequences = append(sequences, hdr.FlowSequence)
+		raw = raw[netflow.HeaderLen+len(recs)*netflow.RecordLen:]
+	}
+	want := []uint16{5, 50}
+	if len(intervals) != 2 || intervals[0] != want[0] || intervals[1] != want[1] {
+		t.Errorf("per-bin intervals %v, want %v", intervals, want)
+	}
+	// The flow sequence keeps running across bins — a reset to 0 would
+	// read as datagram loss to a collector.
+	if len(sequences) != 2 || sequences[0] != 0 || sequences[1] != 1 {
+		t.Errorf("flow sequences %v, want [0 1]", sequences)
 	}
 }

@@ -25,6 +25,12 @@
 //     from the sampled per-flow counts, feeding the adaptive controller
 //     and the streaming monitor's per-bin summaries.
 //
+//   - Network-wide coordination (Topology, Allocator, AllocateRates,
+//     NetworkRank): the multi-link generalization — budgeted switches,
+//     routed flows, cSamp-style coordinated hash-range sampling, and
+//     allocators that maximize model-predicted ranking quality over the
+//     inverted per-link size distributions.
+//
 // Everything is deterministic given explicit seeds, uses only the standard
 // library, and is exercised by the experiment harness in
 // cmd/flowrank-bench, which regenerates every figure of the paper.
@@ -38,6 +44,7 @@ import (
 	"flowrank/internal/flowtable"
 	"flowrank/internal/invert"
 	"flowrank/internal/metrics"
+	"flowrank/internal/netsample"
 	"flowrank/internal/packet"
 	"flowrank/internal/packetgen"
 	"flowrank/internal/sampler"
@@ -404,3 +411,80 @@ func KolmogorovDistance(a, b SizeDist, probes []float64) float64 {
 // QuantileProbes returns an n-point probe grid spanning d's body and deep
 // tail, for KolmogorovDistance.
 func QuantileProbes(d SizeDist, n int) []float64 { return invert.QuantileProbes(d, n) }
+
+// ---------------------------------------------------------------------------
+// Network-wide coordinated sampling (internal/netsample)
+
+// Topology is a network of budgeted switches and directed links with
+// deterministic shortest-path routing; NetworkSwitch and NetworkLink are
+// its elements. RoutedFlow is one flow with its switch path.
+type (
+	Topology      = netsample.Topology
+	NetworkSwitch = netsample.Switch
+	NetworkLink   = netsample.Link
+	RoutedFlow    = netsample.RoutedFlow
+)
+
+// NetworkDemand is an allocator's input — routed traffic aggregates plus
+// per-link (inverted) size distributions; LinkState and PathStat are its
+// rows. Allocation is a solved per-switch rate assignment with cSamp-style
+// hash-range ownership; NetworkResult the simulated network-wide quality.
+type (
+	NetworkDemand = netsample.Demand
+	LinkState     = netsample.LinkState
+	PathStat      = netsample.PathStat
+	Allocation    = netsample.Allocation
+	NetworkResult = netsample.Result
+)
+
+// Allocator solves the per-switch budgeted sampling-rate assignment. The
+// three implementations, weakest to strongest: UniformAllocator (every
+// switch samples everything its budget allows), WaterfillAllocator
+// (greedy whole-path ownership), CoordinatedAllocator (model-driven
+// hash-range search maximizing predicted ranking quality over the
+// inverted per-link size distributions).
+type (
+	Allocator            = netsample.Allocator
+	UniformAllocator     = netsample.Uniform
+	WaterfillAllocator   = netsample.GreedyWaterfill
+	CoordinatedAllocator = netsample.Coordinated
+)
+
+// NewTopology validates switches and links into a routable topology.
+func NewTopology(switches []NetworkSwitch, links []NetworkLink) (*Topology, error) {
+	return netsample.NewTopology(switches, links)
+}
+
+// FatTreeTopology returns the 10-switch two-pod evaluation fabric with
+// the given per-switch sampling budget.
+func FatTreeTopology(budget float64) *Topology { return netsample.FatTree(budget) }
+
+// GenerateNetworkWorkload synthesizes a routed multi-link workload from a
+// trace configuration: flows arrive per cfg and are routed between
+// deterministic pseudo-random edge-switch pairs.
+func GenerateNetworkWorkload(topo *Topology, cfg TraceConfig) ([]RoutedFlow, error) {
+	return netsample.GenerateWorkload(topo, cfg)
+}
+
+// ObserveNetwork probe-samples every link of the routed workload at
+// probeRate, inverts each link's size distribution with the estimator,
+// and returns the allocator-ready demand.
+func ObserveNetwork(topo *Topology, flows []RoutedFlow, probeRate float64, est Inverter, topT int, seed uint64) (*NetworkDemand, error) {
+	return netsample.Observe(topo, flows, probeRate, est, topT, seed)
+}
+
+// AllocateRates solves the demand with the given allocator: per-switch
+// sampling rates within every budget plus hash-range ownership per path.
+func AllocateRates(d *NetworkDemand, a Allocator) (*Allocation, error) { return a.Allocate(d) }
+
+// NetworkOfferedLoads returns each switch's offered packet load under
+// the demand — the natural base for budget sweeps ("sample x% of what
+// you forward").
+func NetworkOfferedLoads(d *NetworkDemand) map[string]float64 { return netsample.OfferedLoads(d) }
+
+// NetworkRank simulates the routed workload under an allocation — every
+// flow sampled once per traversed monitor, deduplicated by hash
+// ownership — and scores network-wide ranking and top-k recovery.
+func NetworkRank(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int, seed uint64) (*NetworkResult, error) {
+	return netsample.Simulate(topo, flows, a, topT, runs, seed)
+}

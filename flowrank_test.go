@@ -304,3 +304,57 @@ func TestInversionFacade(t *testing.T) {
 		t.Errorf("MissProbability point mass = %g", miss)
 	}
 }
+
+// TestNetworkFacade drives the network-wide coordination layer end to end
+// through the public API: fat-tree topology, routed workload, probe
+// observation, all three allocators, and the simulated network ranking —
+// with the coordinated allocation beating the uniform baseline.
+func TestNetworkFacade(t *testing.T) {
+	topo := FatTreeTopology(1)
+	cfg := SprintFiveTuple(10, 3)
+	cfg.ArrivalRate = 150
+	flows, err := GenerateNetworkWorkload(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EM estimates: the Discrete outputs evaluate fastest under the
+	// allocator's model scoring (spliced tail mixtures cost ~50x here).
+	demand, err := ObserveNetwork(topo, flows, 0.1, EMInverter{}, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand.Workers = 1
+	// Budget: 2% of each switch's traversing load.
+	budgets := map[string]float64{}
+	for sw, load := range NetworkOfferedLoads(demand) {
+		budgets[sw] = 0.02 * load
+	}
+	if err := topo.SetBudgets(budgets); err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]*NetworkResult{}
+	for _, alloc := range []Allocator{UniformAllocator{}, WaterfillAllocator{}, CoordinatedAllocator{}} {
+		a, err := AllocateRates(demand, alloc)
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		for sw, used := range a.ExpectedSampled(demand) {
+			b, _ := topo.Switch(sw)
+			if used > b.Budget*(1+1e-9) {
+				t.Errorf("%s: switch %s over budget: %g > %g", alloc.Name(), sw, used, b.Budget)
+			}
+		}
+		res, err := NetworkRank(topo, flows, a, 10, 2, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		results[alloc.Name()] = res
+	}
+	if u, c := results["uniform"].RankFrac, results["coordinated"].RankFrac; !(c < u) {
+		t.Errorf("coordinated fraction %g not below uniform %g", c, u)
+	}
+	if results["coordinated"].TopK < results["uniform"].TopK {
+		t.Errorf("coordinated top-k %g below uniform %g",
+			results["coordinated"].TopK, results["uniform"].TopK)
+	}
+}

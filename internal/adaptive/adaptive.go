@@ -8,12 +8,19 @@
 package adaptive
 
 import (
+	"errors"
 	"fmt"
 
 	"flowrank/internal/core"
 	"flowrank/internal/dist"
 	"flowrank/internal/invert"
 )
+
+// ErrEmptyObservation is returned by Recommend when the observed bin holds
+// nothing to invert: no sampled flows or no sampled packets. Callers running
+// a closed loop (flowtop -adapt) match it with errors.Is and keep the
+// current rate rather than treating the bin as a controller failure.
+var ErrEmptyObservation = errors.New("adaptive: empty observation (no sampled flows or packets)")
 
 // Hill returns the Hill estimator of the Pareto tail index from the k
 // largest values of sizes. It is invert.Hill, re-exported where the
@@ -74,28 +81,78 @@ type Observation struct {
 	SampledSizes []float64
 }
 
-// Recommend estimates the population from the observation and returns the
-// cheapest rate whose predicted metric meets the target, together with
-// the fitted model.
-func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
-	minRate := c.MinRate
+// rateBounds resolves and validates the controller's clamp interval. The
+// resolved bounds always satisfy 0 < min <= max <= 1, so every successful
+// recommendation lies inside (0, 1] no matter how degenerate the
+// observation was.
+func (c Controller) rateBounds() (minRate, maxRate float64, err error) {
+	minRate = c.MinRate
 	if minRate <= 0 {
 		minRate = 1e-4
 	}
-	maxRate := c.MaxRate
+	maxRate = c.MaxRate
 	if maxRate <= 0 || maxRate > 1 {
 		maxRate = 1
 	}
+	if minRate > maxRate {
+		return 0, 0, fmt.Errorf("adaptive: MinRate %g above MaxRate %g", minRate, maxRate)
+	}
+	return minRate, maxRate, nil
+}
+
+// validate checks the controller's target configuration.
+func (c Controller) validate() error {
 	if c.TopT < 1 {
-		return 0, core.Model{}, fmt.Errorf("adaptive: top-t %d must be >= 1", c.TopT)
+		return fmt.Errorf("adaptive: top-t %d must be >= 1", c.TopT)
 	}
 	if c.Target <= 0 {
-		return 0, core.Model{}, fmt.Errorf("adaptive: target %g must be positive", c.Target)
+		return fmt.Errorf("adaptive: target %g must be positive", c.Target)
 	}
+	return nil
+}
 
+// Recommend estimates the population from the observation and returns the
+// cheapest rate whose predicted metric meets the target, together with
+// the fitted model. The rate is always inside [MinRate, MaxRate] ⊆ (0, 1];
+// an observed bin with no sampled flows or packets returns
+// ErrEmptyObservation.
+func (c Controller) Recommend(obs Observation) (float64, core.Model, error) {
+	if err := c.validate(); err != nil {
+		return 0, core.Model{}, err
+	}
+	if _, _, err := c.rateBounds(); err != nil {
+		return 0, core.Model{}, err
+	}
+	if obs.SampledFlows <= 0 || obs.SampledPackets <= 0 {
+		return 0, core.Model{}, fmt.Errorf("%w: %d flows, %d packets",
+			ErrEmptyObservation, obs.SampledFlows, obs.SampledPackets)
+	}
+	if !(obs.Rate > 0 && obs.Rate <= 1) {
+		return 0, core.Model{}, fmt.Errorf("adaptive: observation rate %g outside (0, 1]", obs.Rate)
+	}
 	est, err := c.estimate(obs)
 	if err != nil {
 		return 0, core.Model{}, err
+	}
+	return c.RecommendEstimate(est)
+}
+
+// RecommendEstimate is the second half of Recommend for callers that
+// already hold an inverted population estimate — the streaming monitor's
+// per-bin inversion summary carries one, so the closed loop
+// (flowtop -adapt) does not invert the same bin twice. It fits the model
+// to the estimate and returns the cheapest clamped rate meeting the
+// target.
+func (c Controller) RecommendEstimate(est invert.Estimate) (float64, core.Model, error) {
+	if err := c.validate(); err != nil {
+		return 0, core.Model{}, err
+	}
+	minRate, maxRate, err := c.rateBounds()
+	if err != nil {
+		return 0, core.Model{}, err
+	}
+	if est.Dist == nil {
+		return 0, core.Model{}, errors.New("adaptive: estimate carries no size distribution")
 	}
 	model := core.Model{
 		N:            int(est.FlowCount + 0.5),

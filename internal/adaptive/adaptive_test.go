@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -276,5 +277,141 @@ func TestControllerValidation(t *testing.T) {
 	}
 	if _, _, err := (Controller{Target: 1, TopT: 0}).Recommend(obs); err == nil {
 		t.Error("zero top-t accepted")
+	}
+}
+
+// TestRecommendDegenerateObservations is the clamp/typed-error table test:
+// degenerate bins (no sampled flows, no sampled packets, absurd rates,
+// inverted clamp bounds) must either return ErrEmptyObservation / a
+// configuration error, or a recommendation strictly inside (0, 1] — never
+// a rate a sampler cannot run at.
+func TestRecommendDegenerateObservations(t *testing.T) {
+	sizes := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i%13 + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		ctl     Controller
+		obs     Observation
+		isEmpty bool // want errors.Is(err, ErrEmptyObservation)
+		wantErr bool // want some error
+	}{
+		{
+			name:    "no sampled flows",
+			ctl:     Controller{Target: 1, TopT: 5},
+			obs:     Observation{Rate: 0.1},
+			isEmpty: true,
+		},
+		{
+			name:    "flows but zero packets",
+			ctl:     Controller{Target: 1, TopT: 5},
+			obs:     Observation{Rate: 0.1, SampledFlows: 40, SampledSizes: sizes(40)},
+			isEmpty: true,
+		},
+		{
+			name:    "negative packets",
+			ctl:     Controller{Target: 1, TopT: 5},
+			obs:     Observation{Rate: 0.1, SampledFlows: 40, SampledPackets: -3, SampledSizes: sizes(40)},
+			isEmpty: true,
+		},
+		{
+			name:    "zero observation rate",
+			ctl:     Controller{Target: 1, TopT: 5},
+			obs:     Observation{Rate: 0, SampledFlows: 100, SampledPackets: 500, SampledSizes: sizes(100)},
+			wantErr: true,
+		},
+		{
+			name:    "observation rate above 1",
+			ctl:     Controller{Target: 1, TopT: 5},
+			obs:     Observation{Rate: 1.5, SampledFlows: 100, SampledPackets: 500, SampledSizes: sizes(100)},
+			wantErr: true,
+		},
+		{
+			name:    "MinRate above MaxRate",
+			ctl:     Controller{Target: 1, TopT: 5, MinRate: 0.5, MaxRate: 0.01},
+			obs:     Observation{Rate: 0.1, SampledFlows: 100, SampledPackets: 500, SampledSizes: sizes(100)},
+			wantErr: true,
+		},
+		{
+			name: "MinRate above 1 rejected, not clamped outside (0,1]",
+			ctl:  Controller{Target: 1, TopT: 5, MinRate: 2},
+			obs:  Observation{Rate: 0.1, SampledFlows: 100, SampledPackets: 500, SampledSizes: sizes(100)},
+			// min=2 > max=1 is a configuration error; the old code would
+			// have recommended p=2.
+			wantErr: true,
+		},
+		{
+			name: "tiny bin, loose target",
+			ctl:  Controller{Target: 1e9, TopT: 2, Workers: 1},
+			obs:  Observation{Rate: 0.1, SampledFlows: 30, SampledPackets: 90, SampledSizes: sizes(30)},
+		},
+		{
+			name: "tiny bin, impossible target",
+			ctl:  Controller{Target: 1e-12, TopT: 2, Workers: 1},
+			obs:  Observation{Rate: 0.1, SampledFlows: 30, SampledPackets: 90, SampledSizes: sizes(30)},
+		},
+	}
+	for _, c := range cases {
+		rate, _, err := c.ctl.Recommend(c.obs)
+		switch {
+		case c.isEmpty:
+			if !errors.Is(err, ErrEmptyObservation) {
+				t.Errorf("%s: err = %v, want ErrEmptyObservation", c.name, err)
+			}
+		case c.wantErr:
+			if err == nil {
+				t.Errorf("%s: degenerate observation accepted, rate %g", c.name, rate)
+			}
+		default:
+			if err != nil {
+				t.Errorf("%s: %v", c.name, err)
+			} else if !(rate > 0 && rate <= 1) {
+				t.Errorf("%s: recommended rate %g outside (0, 1]", c.name, rate)
+			}
+		}
+	}
+}
+
+// TestRecommendEstimateMatchesRecommend: feeding the estimate back through
+// RecommendEstimate must reproduce Recommend exactly — the closed loop
+// (flowtop -adapt) re-uses the per-bin inversion instead of re-running it.
+func TestRecommendEstimateMatchesRecommend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Recommend search takes tens of seconds")
+	}
+	g := randx.New(77)
+	d := dist.ParetoWithMean(9.6, 1.5)
+	obs := Observation{Rate: 0.1}
+	for i := 0; i < 20_000; i++ {
+		s := int(math.Max(1, math.Round(d.Rand(g))))
+		if k := g.Binomial(s, obs.Rate); k > 0 {
+			obs.SampledFlows++
+			obs.SampledPackets += int64(k)
+			obs.SampledSizes = append(obs.SampledSizes, float64(k))
+		}
+	}
+	ctl := Controller{Target: 1, TopT: 5, Workers: 1}
+	want, wantModel, err := ctl.Recommend(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := invert.Parametric{}.Invert(obs.SampledSizes, obs.Rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotModel, err := ctl.RecommendEstimate(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || gotModel.N != wantModel.N {
+		t.Errorf("RecommendEstimate = (%g, N=%d), Recommend = (%g, N=%d)",
+			got, gotModel.N, want, wantModel.N)
+	}
+	if _, _, err := ctl.RecommendEstimate(invert.Estimate{FlowCount: 100}); err == nil {
+		t.Error("estimate without a distribution accepted")
 	}
 }

@@ -64,6 +64,7 @@ var registry = map[string]struct {
 	"seqest":   {extraSeqest, "extension: TCP sequence-number size refinement (future work #2)"},
 	"adaptive": {extraAdaptive, "extension: adaptive sampling-rate controller (future work #3)"},
 	"invert":   {extraInvert, "extension: flow-size distribution inversion from sampled counts"},
+	"coord":    {extraCoord, "extension: network-wide coordinated sampling on a fat-tree topology"},
 }
 
 // IDs returns all experiment ids in a stable order.

@@ -11,7 +11,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	want := 16 + 6 // figures + extras
+	want := 16 + 7 // figures + extras
 	if len(ids) != want {
 		t.Errorf("%d experiment ids, want %d: %v", len(ids), want, ids)
 	}
@@ -169,6 +169,38 @@ func TestInvertExperiment(t *testing.T) {
 		if !(emKS < naiveKS) {
 			t.Errorf("%s p=%s: EM KS %g not below naive %g", row[0], row[1], emKS, naiveKS)
 		}
+	}
+}
+
+// TestCoordExperiment is the coord figure's acceptance shape: on every
+// (workload, budget) row the Coordinated allocator strictly beats the
+// Uniform baseline on the simulated network-wide ranking fraction, and
+// never loses on top-k recovery; within a workload, growing budgets never
+// hurt the coordinated ranking fraction.
+func TestCoordExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordination sweep takes tens of seconds")
+	}
+	tabs := runAndRender(t, "coord")
+	rows := tabs[0].Rows
+	prevWorkload := ""
+	prevCoord := 0.0
+	for _, row := range rows {
+		uniform := mustFloat(t, row[2])
+		coord := mustFloat(t, row[4])
+		if !(coord < uniform) {
+			t.Errorf("%s budget %s%%: coordinated %g not strictly below uniform %g",
+				row[0], row[1], coord, uniform)
+		}
+		if mustFloat(t, row[7]) < mustFloat(t, row[6])-1e-9 {
+			t.Errorf("%s budget %s%%: coordinated top-k %s below uniform %s",
+				row[0], row[1], row[7], row[6])
+		}
+		if row[0] == prevWorkload && coord > prevCoord*1.05+1e-9 {
+			t.Errorf("%s: coordinated fraction rose from %g to %g as the budget grew",
+				row[0], prevCoord, coord)
+		}
+		prevWorkload, prevCoord = row[0], coord
 	}
 }
 

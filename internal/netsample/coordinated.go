@@ -1,0 +1,124 @@
+package netsample
+
+import "sort"
+
+// Coordinated is the model-driven allocator: it searches over hash-range
+// assignments (which monitor owns which slice of each path's flows),
+// scoring every candidate with the analytical model's predicted
+// network-wide ranking fraction over the links' inverted size
+// distributions, and budgets each switch against its owned load only —
+// the cSamp discipline.
+//
+// The search is deterministic hill climbing:
+//
+//  1. Start from the Uniform baseline's ownership (each path read at its
+//     best uncoordinated monitor) with coordinated budget accounting.
+//     Owned load never exceeds offered load, so every rate starts at or
+//     above the Uniform rate and the starting score already dominates the
+//     baseline.
+//  2. For a fixed number of passes, visit paths heaviest-first and try
+//     re-owning each path: wholly to each of its monitors, or split
+//     evenly across them. Keep a move only if the predicted score
+//     strictly improves.
+//
+// Every candidate is scored against rates recomputed from its shares, so
+// the search sees the real budget coupling: taking a path from a loaded
+// switch raises that switch's rate for everything it still owns.
+type Coordinated struct {
+	// Passes bounds the hill-climbing sweeps over the path list
+	// (default 2).
+	Passes int
+}
+
+// Name implements Allocator.
+func (Coordinated) Name() string { return "coordinated" }
+
+// Allocate implements Allocator.
+func (c Coordinated) Allocate(d *Demand) (*Allocation, error) {
+	v, s, err := viewAndScorer(d)
+	if err != nil {
+		return nil, err
+	}
+	passes := c.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+
+	// Step 1: the dominating start — Uniform's observation points with
+	// coordinated accounting.
+	uniformRates := v.budgetRates(v.offered)
+	shares := v.concentratedShares(func(p PathStat) string { return bestMonitor(p, uniformRates) })
+	rates := v.budgetRates(v.owned(shares))
+	score := s.networkFrac(rates, shares)
+
+	// Step 2: hill-climb path ownerships, heaviest paths first.
+	order := make([]int, len(v.paths))
+	for i := range order {
+		order[i] = i
+	}
+	sortPathsByWeight(v, order)
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for _, pi := range order {
+			p := v.paths[pi]
+			monitors := Monitors(p.Switches)
+			best := clonePathShares(shares[p.Key()])
+			bestScore := score
+			for ci := 0; ci <= len(monitors); ci++ {
+				cand := make(map[string]float64, len(monitors))
+				if ci == len(monitors) {
+					for _, sw := range monitors {
+						cand[sw] = 1 / float64(len(monitors))
+					}
+				} else {
+					for _, sw := range monitors {
+						cand[sw] = 0
+					}
+					cand[monitors[ci]] = 1
+				}
+				shares[p.Key()] = cand
+				candRates := v.budgetRates(v.owned(shares))
+				if cs := s.networkFrac(candRates, shares); cs < bestScore {
+					bestScore = cs
+					best = cand
+				}
+			}
+			shares[p.Key()] = best
+			if bestScore < score {
+				score = bestScore
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	rates = v.budgetRates(v.owned(shares))
+	return &Allocation{
+		Name:        "coordinated",
+		Coordinated: true,
+		Rates:       rates,
+		Shares:      shares,
+		Predicted:   s.networkFrac(rates, shares),
+	}, nil
+}
+
+// sortPathsByWeight orders path indices by descending packets with the
+// canonical key as tiebreak.
+func sortPathsByWeight(v *demandView, order []int) {
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := v.paths[order[a]], v.paths[order[b]]
+		if pa.Packets != pb.Packets {
+			return pa.Packets > pb.Packets
+		}
+		return pa.Key() < pb.Key()
+	})
+}
+
+func clonePathShares(ps map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(ps))
+	for k, w := range ps {
+		out[k] = w
+	}
+	return out
+}

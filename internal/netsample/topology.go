@@ -1,0 +1,266 @@
+// Package netsample generalizes the paper's single monitored link to a
+// network of them — the production shape of the ranking problem, and the
+// setting of "Coordinated Sampling in SDNs with Dynamic Flow Rates"
+// (Esmaeilian et al.): every switch has a packet-sampling budget, flows
+// traverse several switches, and the operator wants the best network-wide
+// flow ranking the total budget can buy.
+//
+// The subsystem has four parts, mirroring the single-link stack one layer
+// up:
+//
+//   - A Topology of switches (each with a sampling budget) and directed
+//     links, with deterministic shortest-path routing and a fat-tree
+//     preset, plus a routed multi-link workload generator layered on
+//     internal/tracegen.
+//   - Observe, which turns a routed workload into the allocator's input
+//     (a Demand): per-link flow populations and size distributions
+//     recovered from probe-sampled counts by an internal/invert
+//     estimator — the network-wide use of the inversion subsystem.
+//   - Allocators (Uniform, GreedyWaterfill, Coordinated) that assign each
+//     switch a sampling rate within its budget and each flow path a
+//     hash-range split across its monitors, scored by the analytical
+//     model's predicted ranking quality over each link's estimated size
+//     distribution.
+//   - Simulate, which replays the routed workload under an allocation —
+//     sampling every flow once per traversed monitor, deduplicating by
+//     the cSamp-style hash ownership — and scores network-wide ranking
+//     and top-k recovery with internal/metrics.
+//
+// Everything is deterministic given explicit seeds, and allocator results
+// are invariant to the enumeration order of links and paths in the
+// Demand.
+package netsample
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Switch is one monitoring point of the network.
+type Switch struct {
+	// ID names the switch; IDs must be unique within a topology.
+	ID string
+	// Budget is the switch's sampling budget: the expected number of
+	// sampled packets per measurement bin its collection path can afford.
+	// Sampling rates are chosen so that rate × (expected packets offered
+	// to the sampler) never exceeds it.
+	Budget float64
+}
+
+// Link is one directed link. A link is monitored by its From switch: a
+// flow whose path visits u immediately before v is observable at u's
+// sampler and accounted to link u>v.
+type Link struct {
+	From, To string
+}
+
+// ID returns the canonical link identifier.
+func (l Link) ID() string { return l.From + ">" + l.To }
+
+// Topology is a validated network of switches and directed links.
+type Topology struct {
+	switches []Switch
+	links    []Link
+	index    map[string]int      // switch ID -> switches index
+	adj      map[string][]string // neighbors via outgoing links, sorted
+	linkSet  map[string]Link
+}
+
+// NewTopology validates the switch and link lists and builds the routing
+// index. Link endpoints must name declared switches; duplicate switch IDs
+// or links are rejected.
+func NewTopology(switches []Switch, links []Link) (*Topology, error) {
+	t := &Topology{
+		switches: append([]Switch(nil), switches...),
+		links:    append([]Link(nil), links...),
+		index:    make(map[string]int, len(switches)),
+		adj:      make(map[string][]string, len(switches)),
+		linkSet:  make(map[string]Link, len(links)),
+	}
+	for i, s := range t.switches {
+		if s.ID == "" {
+			return nil, fmt.Errorf("netsample: switch %d has an empty ID", i)
+		}
+		if _, dup := t.index[s.ID]; dup {
+			return nil, fmt.Errorf("netsample: duplicate switch %q", s.ID)
+		}
+		if !(s.Budget > 0) {
+			return nil, fmt.Errorf("netsample: switch %q budget %g must be positive", s.ID, s.Budget)
+		}
+		t.index[s.ID] = i
+	}
+	for _, l := range t.links {
+		if _, ok := t.index[l.From]; !ok {
+			return nil, fmt.Errorf("netsample: link %s references unknown switch %q", l.ID(), l.From)
+		}
+		if _, ok := t.index[l.To]; !ok {
+			return nil, fmt.Errorf("netsample: link %s references unknown switch %q", l.ID(), l.To)
+		}
+		if l.From == l.To {
+			return nil, fmt.Errorf("netsample: self-link %s", l.ID())
+		}
+		if _, dup := t.linkSet[l.ID()]; dup {
+			return nil, fmt.Errorf("netsample: duplicate link %s", l.ID())
+		}
+		t.linkSet[l.ID()] = l
+		t.adj[l.From] = append(t.adj[l.From], l.To)
+	}
+	// Sorted adjacency makes BFS routing deterministic and independent of
+	// link declaration order.
+	for _, ns := range t.adj {
+		sort.Strings(ns)
+	}
+	return t, nil
+}
+
+// Switches returns the switch list in declaration order.
+func (t *Topology) Switches() []Switch { return t.switches }
+
+// Links returns the link list in declaration order.
+func (t *Topology) Links() []Link { return t.links }
+
+// Switch returns the switch with the given ID.
+func (t *Topology) Switch(id string) (Switch, bool) {
+	i, ok := t.index[id]
+	if !ok {
+		return Switch{}, false
+	}
+	return t.switches[i], true
+}
+
+// HasLink reports whether the directed link from>to exists.
+func (t *Topology) HasLink(from, to string) bool {
+	_, ok := t.linkSet[Link{From: from, To: to}.ID()]
+	return ok
+}
+
+// SetBudgets replaces every switch budget using the given assignment
+// (missing IDs keep their budget; unknown IDs error). It lets experiments
+// sweep a budget axis over one routing structure.
+func (t *Topology) SetBudgets(budgets map[string]float64) error {
+	for id, b := range budgets {
+		i, ok := t.index[id]
+		if !ok {
+			return fmt.Errorf("netsample: budget for unknown switch %q", id)
+		}
+		if !(b > 0) {
+			return fmt.Errorf("netsample: switch %q budget %g must be positive", id, b)
+		}
+		t.switches[i].Budget = b
+	}
+	return nil
+}
+
+// Route returns the lexicographically smallest shortest path of switch
+// IDs from src to dst over the directed links. Routing is a pure function
+// of the topology: BFS over sorted adjacency, so equal topologies route
+// identically regardless of how their links were enumerated.
+func (t *Topology) Route(src, dst string) ([]string, error) {
+	if _, ok := t.index[src]; !ok {
+		return nil, fmt.Errorf("netsample: route from unknown switch %q", src)
+	}
+	if _, ok := t.index[dst]; !ok {
+		return nil, fmt.Errorf("netsample: route to unknown switch %q", dst)
+	}
+	if src == dst {
+		return []string{src}, nil
+	}
+	// BFS: visiting neighbors in sorted order and fixing the first parent
+	// found yields the lexicographically smallest shortest path.
+	parent := map[string]string{src: ""}
+	queue := []string{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.adj[u] {
+			if _, seen := parent[v]; seen {
+				continue
+			}
+			parent[v] = u
+			if v == dst {
+				var path []string
+				for w := dst; w != ""; w = parent[w] {
+					path = append(path, w)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, nil
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil, fmt.Errorf("netsample: no route from %q to %q", src, dst)
+}
+
+// Monitors returns the switches of a path that observe the flow: every
+// hop with an outgoing link on the path (all but the egress switch).
+func Monitors(path []string) []string {
+	if len(path) < 2 {
+		return nil
+	}
+	return path[:len(path)-1]
+}
+
+// FatTree returns the reduced-scale evaluation topology: a two-pod
+// fat-tree-ish fabric of 10 switches — 2 cores, 4 aggregation and 4 edge
+// switches — with bidirectional links. Traffic enters and leaves at edge
+// switches; intra-pod paths cross 3 switches, inter-pod paths 5. Every
+// switch starts with the given sampling budget (see SetBudgets for
+// per-switch overrides).
+//
+//	      core0        core1
+//	      /    \       /    \
+//	  agg0     agg2 agg1     agg3
+//	  |  ×  |          |  ×  |
+//	edge0 edge1      edge2 edge3
+func FatTree(budget float64) *Topology {
+	switches := []Switch{
+		{ID: "core0", Budget: budget}, {ID: "core1", Budget: budget},
+		{ID: "agg0", Budget: budget}, {ID: "agg1", Budget: budget},
+		{ID: "agg2", Budget: budget}, {ID: "agg3", Budget: budget},
+		{ID: "edge0", Budget: budget}, {ID: "edge1", Budget: budget},
+		{ID: "edge2", Budget: budget}, {ID: "edge3", Budget: budget},
+	}
+	both := func(a, b string) []Link {
+		return []Link{{From: a, To: b}, {From: b, To: a}}
+	}
+	var links []Link
+	// Pod 0: edge0/edge1 dual-homed to agg0/agg1; pod 1: edge2/edge3 to
+	// agg2/agg3.
+	for _, pair := range [][2]string{
+		{"edge0", "agg0"}, {"edge0", "agg1"},
+		{"edge1", "agg0"}, {"edge1", "agg1"},
+		{"edge2", "agg2"}, {"edge2", "agg3"},
+		{"edge3", "agg2"}, {"edge3", "agg3"},
+		// Core plane: core0 joins the even aggs, core1 the odd ones.
+		{"agg0", "core0"}, {"agg2", "core0"},
+		{"agg1", "core1"}, {"agg3", "core1"},
+	} {
+		links = append(links, both(pair[0], pair[1])...)
+	}
+	t, err := NewTopology(switches, links)
+	if err != nil {
+		panic("netsample: FatTree preset invalid: " + err.Error())
+	}
+	return t
+}
+
+// EdgeSwitches returns the IDs of the topology's traffic endpoints: the
+// switches whose ID starts with "edge" if any exist, otherwise every
+// switch. Sorted, so workload generation is deterministic.
+func (t *Topology) EdgeSwitches() []string {
+	var edges []string
+	for _, s := range t.switches {
+		if len(s.ID) >= 4 && s.ID[:4] == "edge" {
+			edges = append(edges, s.ID)
+		}
+	}
+	if len(edges) == 0 {
+		for _, s := range t.switches {
+			edges = append(edges, s.ID)
+		}
+	}
+	sort.Strings(edges)
+	return edges
+}

@@ -1,0 +1,81 @@
+package netsample
+
+import (
+	"fmt"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/randx"
+	"flowrank/internal/tracegen"
+)
+
+// RoutedFlow is one flow of a network-wide workload: the flow-level
+// record plus the switch path it takes through the topology.
+type RoutedFlow struct {
+	Record flow.Record
+	// Path is the ordered switch IDs the flow traverses, ingress first.
+	// Every consecutive pair is a topology link; every switch except the
+	// last is a monitor of the flow.
+	Path []string
+}
+
+// PathKey canonicalizes a switch path for grouping.
+func PathKey(path []string) string {
+	key := ""
+	for i, s := range path {
+		if i > 0 {
+			key += ">"
+		}
+		key += s
+	}
+	return key
+}
+
+// GenerateWorkload synthesizes a routed multi-link workload: flow records
+// drawn from the trace configuration (arrivals, sizes, durations — see
+// internal/tracegen), each routed between a deterministic pseudo-random
+// pair of distinct edge switches over the topology's shortest paths. The
+// routing stream is derived from cfg.Seed, so a workload is reproducible
+// from (topology, config) alone.
+func GenerateWorkload(topo *Topology, cfg tracegen.Config) ([]RoutedFlow, error) {
+	edges := topo.EdgeSwitches()
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("netsample: topology needs at least 2 edge switches, have %d", len(edges))
+	}
+	// Routes between edge pairs are cached: the path is a pure function
+	// of the pair.
+	type pair struct{ src, dst int }
+	routes := make(map[pair][]string, len(edges)*(len(edges)-1))
+	endpoints := randx.New(cfg.Seed).Derive(100)
+	var out []RoutedFlow
+	err := tracegen.GenerateFunc(cfg, func(r flow.Record) error {
+		si := endpoints.IntN(len(edges))
+		di := endpoints.IntN(len(edges) - 1)
+		if di >= si {
+			di++ // uniform over destinations != source
+		}
+		p := pair{si, di}
+		path, ok := routes[p]
+		if !ok {
+			var rerr error
+			path, rerr = topo.Route(edges[si], edges[di])
+			if rerr != nil {
+				return rerr
+			}
+			routes[p] = path
+		}
+		out = append(out, RoutedFlow{Record: r, Path: path})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// hashUnit maps a flow key to a deterministic point in [0, 1) — the
+// flow's position in the cSamp-style hash space that coordinated
+// allocations split among a path's monitors. Ownership is a property of
+// the flow alone, so every monitor agrees on it without communication.
+func hashUnit(k flow.Key) float64 {
+	return float64(k.FastHash()>>11) / (1 << 53)
+}

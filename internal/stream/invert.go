@@ -37,6 +37,14 @@ type InversionSummary struct {
 	// inverted (for example too few sampled flows for a tail fit); the
 	// other fields are zero then.
 	Err string
+	// Estimate is the full inversion result the scalars above were read
+	// from, including the estimated size distribution — what a closed
+	// control loop (flowtop -adapt) feeds into
+	// adaptive.Controller.RecommendEstimate without inverting the bin a
+	// second time. Nil when Err is set. Like every other field it is a
+	// pure function of the merged multiset of sampled counts, so it keeps
+	// the bit-identical-across-workers contract.
+	Estimate *invert.Estimate
 }
 
 // summarizeInversion runs the estimator over the bin's sampled counts.
@@ -60,6 +68,7 @@ func summarizeInversion(est invert.Estimator, sampled map[flow.Key]int64, rate f
 	s.Mean = e.Mean
 	s.TailIndex = e.TailIndex
 	s.FlowCount = e.FlowCount
+	s.Estimate = &e
 	for i, u := range InversionCheckpoints {
 		s.Quantiles[i] = e.Dist.QuantileCCDF(u)
 	}
