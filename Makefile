@@ -39,26 +39,31 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # The subset CI's bench-smoke job runs, plus the machine-readable records
-# (the kernels model figure and the network-wide coordination figure).
+# (the kernels model figure, the network-wide coordination figure and the
+# bounded-memory sketch figure) and the engine worker-scaling curve.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine|NetworkCoord' -benchtime 1x
+	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine|NetworkCoord|ExtensionSketch' -benchtime 1x
+	$(GO) test -run '^$$' -bench 'Ingest' -benchtime 1x ./internal/flowtable
+	$(GO) test -run '^$$' -bench '^BenchmarkEngine$$' -benchtime 1x ./internal/stream
 	$(GO) run ./cmd/flowrank-bench -fig kernels -json
 	$(GO) run ./cmd/flowrank-bench -fig coord -json
+	$(GO) run ./cmd/flowrank-bench -fig sketch -json
 
 # End-to-end flowtop cross-check: sequential vs sharded output must be
 # byte-identical on both trace formats (native and pcap).
 e2e:
 	./scripts/e2e_flowtop.sh
 
-# Brief native fuzz runs (~30 s total) over the wire-format edges: the
-# NetFlow decode/encode round trip and the pcap reader/writer. Long runs
-# are for dedicated fuzzing sessions; this keeps the harnesses and seed
-# corpora green.
+# Brief native fuzz runs (~40 s total) over the wire-format edges (the
+# NetFlow decode/encode round trip, the pcap reader/writer) and the flat
+# flow table's open-addressing machinery. Long runs are for dedicated
+# fuzzing sessions; this keeps the harnesses and seed corpora green.
 fuzz-smoke:
 	$(GO) test ./internal/netflow -run '^$$' -fuzz '^FuzzDecodeDatagram$$' -fuzztime 8s
 	$(GO) test ./internal/netflow -run '^$$' -fuzz '^FuzzExportRoundTrip$$' -fuzztime 8s
 	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzReader$$' -fuzztime 7s
 	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzWriterRoundTrip$$' -fuzztime 7s
+	$(GO) test ./internal/flowtable -run '^$$' -fuzz '^FuzzFlatProbe$$' -fuzztime 8s
 
 # Short-suite coverage with a ratchet: fails when total coverage drops
 # more than a point below the committed .coverage-baseline.

@@ -55,6 +55,7 @@ func BenchmarkFig16TraceRankingAbilene(b *testing.B)    { benchFigure(b, "fig16"
 func BenchmarkAblationKernels(b *testing.B)   { benchFigure(b, "kernels") }
 func BenchmarkAblationFastpath(b *testing.B)  { benchFigure(b, "fastpath") }
 func BenchmarkExtensionBounded(b *testing.B)  { benchFigure(b, "bounded") }
+func BenchmarkExtensionSketch(b *testing.B)   { benchFigure(b, "sketch") }
 func BenchmarkExtensionSeqest(b *testing.B)   { benchFigure(b, "seqest") }
 func BenchmarkExtensionAdaptive(b *testing.B) { benchFigure(b, "adaptive") }
 func BenchmarkExtensionCoord(b *testing.B)    { benchFigure(b, "coord") }
@@ -63,6 +64,33 @@ func BenchmarkExtensionCoord(b *testing.B)    { benchFigure(b, "coord") }
 
 func BenchmarkModelRankingMetric(b *testing.B) {
 	m := Model{N: 700_000, T: 10, Dist: ParetoWithMean(9.6, 1.5), PoissonTails: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.RankingMetric(0.1)
+	}
+}
+
+// BenchmarkModelRankingSpliced scores the model over the spliced
+// Empirical-body + Pareto-tail mixture that invert.TailScaling feeds back
+// into the control loop. The inner integrals invert the mixture CCDF at
+// every quadrature node; before the step atlas (internal/dist) those
+// inversions fell through to bisection on the body's atoms, making this
+// ~50x slower than the smooth-law benchmark above.
+func BenchmarkModelRankingSpliced(b *testing.B) {
+	body := make([]float64, 2000)
+	for i := range body {
+		// Mostly-distinct sizes with a few heavy duplicates — the shape of
+		// a scaled sample.
+		body[i] = 1 + float64(i%37) + float64(i)*7.3e-4
+	}
+	mix, err := NewMixture(
+		MixtureComponent{Weight: 0.9, Dist: NewEmpirical(body)},
+		MixtureComponent{Weight: 0.1, Dist: Pareto{Scale: 40, Shape: 1.3}},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Model{N: 700_000, T: 10, Dist: mix, PoissonTails: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.RankingMetric(0.1)

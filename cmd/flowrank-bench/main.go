@@ -89,13 +89,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	failed := 0
 	for _, id := range ids {
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		start := time.Now()
 		tables, err := experiments.Run(id, opts)
 		elapsed := time.Since(start)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
 		result := benchio.Result{
-			ID:     id,
-			Title:  experiments.Title(id),
-			WallNS: elapsed.Nanoseconds(),
+			ID:      id,
+			Title:   experiments.Title(id),
+			WallNS:  elapsed.Nanoseconds(),
+			Mallocs: memAfter.Mallocs - memBefore.Mallocs,
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "flowrank-bench: %s: %v\n", id, err)

@@ -16,6 +16,16 @@
 //	flowtop -in trace.pcap -pcap -p 0.1 -t 5 -agg prefix24
 //	flowtop -in trace.pkts -p 0.01 -netflow flows.nf5 -workers 4
 //	flowtop -in trace.pkts -p 0.1 -adapt 1 -invert em
+//	flowtop -in trace.pkts -p 0.01 -table spacesaving -memory 4096
+//
+// With -table spacesaving or -table countmin the per-shard flow tables
+// are replaced by bounded summaries holding at most -memory flows each,
+// so the monitor's memory stays O(memory) no matter how many concurrent
+// flows the trace carries. Bounded bins print the summary's worst-case
+// per-flow packet overcount next to the swapped-pairs counts; the output
+// is deterministic for a fixed -workers count but, unlike the exact
+// tables, may differ between worker counts (the shard partition is an
+// input of a sketch).
 //
 // With -adapt <target> the monitor closes the loop of the paper's §9:
 // after every bin it feeds the bin's inversion summary into the adaptive
@@ -62,6 +72,8 @@ type options struct {
 	workers int
 	invert  string
 	adapt   float64
+	table   string
+	memory  int
 }
 
 func main() {
@@ -79,6 +91,8 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "shard workers for the streaming engine")
 	flag.StringVar(&opts.invert, "invert", "", "estimate the original flow-size distribution per bin: naive, tail, em, or parametric")
 	flag.Float64Var(&opts.adapt, "adapt", 0, "closed-loop target for the §5 ranking metric: after every bin, refit the model to the bin's inversion and set the next bin's sampling rate to the cheapest one meeting the target (0 disables; implies -invert parametric unless -invert is set)")
+	flag.StringVar(&opts.table, "table", "exact", "per-shard flow table: exact, spacesaving, or countmin (bounded kinds keep at most -memory flows per shard)")
+	flag.IntVar(&opts.memory, "memory", 0, "slot budget per bounded table (0 = kind default; ignored for -table exact)")
 	flag.Parse()
 	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
@@ -118,6 +132,10 @@ func run(opts options, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	spec, err := flowtable.ParseSpec(opts.table, opts.memory)
+	if err != nil {
+		return err
+	}
 	ctl := adaptive.Controller{Target: opts.adapt, TopT: opts.topT, Workers: opts.workers}
 
 	// The sampler is held concretely so the closed loop can retune its
@@ -139,6 +157,10 @@ func run(opts options, stdout, stderr io.Writer) error {
 		TopT:       opts.topT,
 		Workers:    opts.workers,
 		Inverter:   inverter,
+		Tables:     spec,
+		// flowtop copies everything it keeps past emit (NetFlow records are
+		// value conversions), so the engine may recycle its bin buffers.
+		Recycle: true,
 	}, func(b stream.BinResult) error {
 		if err := printBin(stdout, b, opts.topT); err != nil {
 			return err
@@ -295,12 +317,18 @@ func openTrace(f *os.File, isPcap bool) (func() (packet.Packet, error), error) {
 }
 
 func printBin(w io.Writer, b stream.BinResult, topT int) error {
+	// Bounded tables carry a worst-case per-flow overcount; exact tables
+	// report 0 and keep the line format the golden-file tests pin.
+	countErr := ""
+	if b.CountErr > 0 {
+		countErr = fmt.Sprintf(", count err <=%d pkts", b.CountErr)
+	}
 	t := &report.Table{
 		ID: fmt.Sprintf("bin%d", b.Bin),
-		Title: fmt.Sprintf("t=[%.0fs,%.0fs) %d flows, swapped pairs: ranking %d (%.3g) detection %d (%.3g)",
+		Title: fmt.Sprintf("t=[%.0fs,%.0fs) %d flows, swapped pairs: ranking %d (%.3g) detection %d (%.3g)%s",
 			b.Start, b.End, len(b.Orig),
 			b.Pairs.Ranking, b.Pairs.RankingFrac(),
-			b.Pairs.Detection, b.Pairs.DetectionFrac()),
+			b.Pairs.Detection, b.Pairs.DetectionFrac(), countErr),
 		Columns: []string{"rank", "true flow", "pkts", "sampled flow", "pkts"},
 	}
 	for i := 0; i < topT; i++ {

@@ -267,6 +267,53 @@ func NewBoundedFlowTable(agg Aggregator, capacity int) *BoundedFlowTable {
 	return flowtable.NewBounded(agg, capacity)
 }
 
+// FlowSummary is the common surface of every per-bin flow-accounting
+// implementation: the exact tables (map and open-addressing flat) and
+// the bounded sketches (Space-Saving, Count-Min + heap). ErrorBound
+// reports the summary's worst-case per-flow packet overcount (0 for the
+// exact tables).
+type FlowSummary = flowtable.Summary
+
+// TableSpec selects a flow-accounting implementation for the streaming
+// engine (StreamConfig.Tables) by kind and slot budget.
+type TableSpec = flowtable.Spec
+
+// FlatFlowTable is the allocation-free open-addressing exact table of
+// the packet hot path; bit-compatible with FlowTable.
+type FlatFlowTable = flowtable.Flat
+
+// SpaceSavingTable and CountMinTable are the bounded summaries: O(k)
+// memory regardless of how many flows the stream carries, with
+// documented overcount bounds (deterministic for Space-Saving,
+// probabilistic for Count-Min).
+type (
+	SpaceSavingTable = flowtable.SpaceSaving
+	CountMinTable    = flowtable.CountMin
+)
+
+// ParseTableSpec maps a -table/-memory style flag pair ("exact",
+// "spacesaving", "countmin"; slot budget, 0 = default) to a TableSpec.
+func ParseTableSpec(kind string, slots int) (TableSpec, error) {
+	return flowtable.ParseSpec(kind, slots)
+}
+
+// NewFlatFlowTable returns an exact open-addressing table pre-sized for
+// sizeHint flows; Release returns its slot arrays to the slab pool.
+func NewFlatFlowTable(agg Aggregator, sizeHint int) *FlatFlowTable {
+	return flowtable.NewFlat(agg, sizeHint)
+}
+
+// NewSpaceSavingTable returns a Space-Saving top-k summary with k
+// counters.
+func NewSpaceSavingTable(agg Aggregator, k int) *SpaceSavingTable {
+	return flowtable.NewSpaceSaving(agg, k)
+}
+
+// NewCountMinTable returns a Count-Min sketch tracking the top k flows.
+func NewCountMinTable(agg Aggregator, k int) *CountMinTable {
+	return flowtable.NewCountMin(agg, k)
+}
+
 // ---------------------------------------------------------------------------
 // Streaming monitor (sharded ingestion engine)
 

@@ -1,6 +1,7 @@
 package flowrank
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -100,6 +101,59 @@ func TestPacketPathFacade(t *testing.T) {
 		if top[i].Packets > top[i-1].Packets {
 			t.Error("top list not sorted")
 		}
+	}
+}
+
+func TestBoundedTablesFacade(t *testing.T) {
+	// Every table kind behind the shared FlowSummary surface.
+	sums := []FlowSummary{
+		NewFlatFlowTable(FiveTuple{}, 64),
+		NewSpaceSavingTable(FiveTuple{}, 8),
+		NewCountMinTable(FiveTuple{}, 8),
+	}
+	key := Key{Src: Addr{1, 2, 3, 4}, Proto: ProtoTCP}
+	for i, s := range sums {
+		s.AddAggregated(key, 1.5, 100)
+		if s.TotalPackets() != 1 || s.Len() != 1 {
+			t.Errorf("summary %d: totals %d/%d", i, s.TotalPackets(), s.Len())
+		}
+		top := s.AppendTop(nil, 1)
+		if len(top) != 1 || top[0].Key != key {
+			t.Errorf("summary %d: top %+v", i, top)
+		}
+	}
+
+	// The spec path drives the streaming engine with a bounded table.
+	spec, err := ParseTableSpec("spacesaving", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SprintFiveTuple(10, 3)
+	cfg.ArrivalRate = 100
+	records, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := 0
+	err = StreamRank(records, 5, StreamConfig{
+		Agg:        FiveTuple{},
+		Sampler:    NewBernoulli(0.5, 4),
+		BinSeconds: 5,
+		TopT:       5,
+		Workers:    2,
+		Tables:     spec,
+	}, func(b StreamBin) error {
+		bins++
+		if len(b.SampledTop) > 5 || b.CountErr < 0 {
+			return fmt.Errorf("bin %d: %d top flows, CountErr %d", b.Bin, len(b.SampledTop), b.CountErr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bins == 0 {
+		t.Fatal("no bins emitted")
 	}
 }
 

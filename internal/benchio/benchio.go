@@ -25,7 +25,17 @@ import (
 
 // SchemaVersion identifies the File layout. Readers reject files whose
 // version they do not know instead of guessing at field semantics.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial layout
+//	2 — adds Result.Mallocs (heap allocation count per run), additive:
+//	    v1 files remain readable, Mallocs simply reads as 0
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest version this reader still understands;
+// every change since then has been additive.
+const minSchemaVersion = 1
 
 // File is one benchmark run: a set of experiments executed by one binary
 // on one host.
@@ -57,6 +67,11 @@ type Result struct {
 	Title string `json:"title,omitempty"`
 	// WallNS is the wall-clock run time in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
+	// Mallocs counts the heap allocations the run performed (runtime
+	// MemStats.Mallocs delta), schema v2+. Unlike wall time it is nearly
+	// noise-free, so bench-smoke can catch allocation regressions — the
+	// hot-path budget of the flow tables — without repeated runs.
+	Mallocs uint64 `json:"mallocs,omitempty"`
 	// Tables digests the produced tables; empty when the run failed.
 	Tables []TableDigest `json:"tables,omitempty"`
 	// Error carries the failure message of a failed experiment.
@@ -99,9 +114,9 @@ func Digest(t *report.Table) TableDigest {
 
 // Validate checks that the file is structurally usable by this package.
 func (f *File) Validate() error {
-	if f.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("benchio: schema version %d, this reader understands %d",
-			f.SchemaVersion, SchemaVersion)
+	if f.SchemaVersion < minSchemaVersion || f.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("benchio: schema version %d, this reader understands %d through %d",
+			f.SchemaVersion, minSchemaVersion, SchemaVersion)
 	}
 	seen := make(map[string]bool, len(f.Results))
 	for i, r := range f.Results {

@@ -35,6 +35,43 @@ func sampleFile() *File {
 	}
 }
 
+// TestSchemaV1StillReadable: the v1 → v2 change is additive, so v1 files
+// (no mallocs field) must keep decoding, with Mallocs reading as 0.
+func TestSchemaV1StillReadable(t *testing.T) {
+	v1 := []byte(`{
+		"schema_version": 1,
+		"module": "flowrank",
+		"results": [{"id": "fig99", "wall_ns": 1500}]
+	}`)
+	f, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if f.Results[0].Mallocs != 0 {
+		t.Errorf("v1 result Mallocs = %d, want 0", f.Results[0].Mallocs)
+	}
+}
+
+// TestMallocsRoundTrip pins the v2 allocation-count field.
+func TestMallocsRoundTrip(t *testing.T) {
+	f := sampleFile()
+	f.Results[0].Mallocs = 123456
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"mallocs": 123456`) {
+		t.Fatalf("encoded file missing mallocs field:\n%s", b)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Mallocs != 123456 {
+		t.Errorf("Mallocs = %d after round trip", got.Results[0].Mallocs)
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	f := sampleFile()
 	path := filepath.Join(t.TempDir(), "nested", "BENCH_test.json")

@@ -96,6 +96,10 @@ func (d *Discrete) Atoms(values, weights []float64) ([]float64, []float64) {
 	return append(values, d.values...), append(weights, d.weights...)
 }
 
+// atomValues implements atomSource for the mixture step atlas. The
+// returned slice is owned by d.
+func (d *Discrete) atomValues() []float64 { return d.values }
+
 // CCDF returns P{S > x}.
 func (d *Discrete) CCDF(x float64) float64 {
 	// First atom strictly greater than x; all mass from there up counts.

@@ -58,6 +58,10 @@ func (e *Empirical) QuantileCCDF(u float64) float64 {
 // Mean returns the sample mean.
 func (e *Empirical) Mean() float64 { return e.mean }
 
+// atomValues implements atomSource for the mixture step atlas: every
+// sample value is an atom. The returned slice is owned by e.
+func (e *Empirical) atomValues() []float64 { return e.values }
+
 // Rand draws a uniformly chosen sample value (bootstrap resampling).
 func (e *Empirical) Rand(g *randx.RNG) float64 {
 	return e.values[g.IntN(len(e.values))]

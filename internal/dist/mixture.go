@@ -34,6 +34,13 @@ type Mixture struct {
 	// cost of any model over a mixture.
 	invOnce sync.Once
 	inv     *invTable
+
+	// atlas is the lazily built step atlas (stepatlas.go): exact
+	// quantiles for probabilities inside a CCDF jump, the region where
+	// the inverse table's verification must fail and bisection used to
+	// take over — the ~50x hot spot of spliced Empirical+Pareto mixtures.
+	atlasOnce sync.Once
+	atlas     *stepAtlas
 }
 
 // NewMixture builds a mixture from the components, normalizing their
@@ -86,6 +93,14 @@ func (m *Mixture) QuantileCCDF(u float64) float64 {
 	}
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64
+	}
+	// Step regions first: for u inside a CCDF jump the atom location is
+	// the exact pseudo-inverse, and neither the table's interpolant nor
+	// bisection can do better than recover it approximately.
+	if a := m.stepAtlas(); a != nil {
+		if x, ok := a.lookup(u); ok {
+			return x
+		}
 	}
 	t := m.invTable()
 	if t == nil || u < t.uMin {

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// The step atlas: exact quantiles across CCDF jumps.
+//
+// The inverse-CCDF table (invtable.go) verifies its interpolant with a
+// CCDF sandwich, and that sandwich can never hold across a jump: for u
+// strictly inside a step of the CCDF no x satisfies
+// CCDF(x·(1-ε)) >= u >= CCDF(x·(1+ε)) with room to spare, so every such
+// call fell through to ~50-evaluation bisection. A spliced
+// Mixture{Empirical, Pareto} — exactly what invert.TailScaling produces —
+// puts the body's whole probability mass on sample atoms, which made
+// model scoring over spliced mixtures ~50x slower than over smooth laws
+// (the ROADMAP blocker for the closed control loop).
+//
+// The atlas removes the fallback for that entire class of calls by
+// answering them exactly: if the mixture has an atom at a with mass
+// p = P{S = a} > 0, then for every u in (CCDF(a), CCDF(a) + p] the
+// pseudo-inverse sup{x : CCDF(x) >= u} is exactly a — below a the CCDF
+// is at least CCDF(a) + p regardless of what the continuous components
+// do, and at a it has already dropped below u. Each atom therefore owns
+// a disjoint u-interval, the atlas is a sorted array of those intervals,
+// and a lookup is one binary search, no CCDF evaluations at all.
+type stepAtlas struct {
+	atoms []float64 // ascending atom values
+	ulo   []float64 // ulo[i] = CCDF(atoms[i]), exclusive lower bound
+	uhi   []float64 // uhi[i] = CCDF(atoms[i]-), inclusive upper bound
+}
+
+// atomSource is implemented by step-valued size laws that can enumerate
+// their atoms. Empirical and Discrete implement it; continuous laws do
+// not, and a mixture with no atomSource component gets no atlas.
+type atomSource interface {
+	// atomValues returns the law's atom locations in ascending order. The
+	// slice is owned by the law and must not be modified.
+	atomValues() []float64
+}
+
+// stepAtlasMaxAtoms caps construction cost: beyond ~1M distinct atoms the
+// O(atoms·components·log) build and the table's memory stop paying for
+// themselves, and the bisection fallback remains correct.
+const stepAtlasMaxAtoms = 1 << 20
+
+// stepAtlas returns the lazily built atlas, nil when the mixture has no
+// step-valued components (or too many atoms to be worth indexing).
+func (m *Mixture) stepAtlas() *stepAtlas {
+	m.atlasOnce.Do(func() { m.atlas = buildStepAtlas(m) })
+	return m.atlas
+}
+
+func buildStepAtlas(m *Mixture) *stepAtlas {
+	total := 0
+	for _, c := range m.comps {
+		if src, ok := c.Dist.(atomSource); ok {
+			total += len(src.atomValues())
+		}
+	}
+	if total == 0 || total > stepAtlasMaxAtoms {
+		return nil
+	}
+	atoms := make([]float64, 0, total)
+	for _, c := range m.comps {
+		if src, ok := c.Dist.(atomSource); ok {
+			atoms = append(atoms, src.atomValues()...)
+		}
+	}
+	sort.Float64s(atoms)
+	a := &stepAtlas{
+		atoms: atoms[:0],
+		ulo:   make([]float64, 0, total),
+		uhi:   make([]float64, 0, total),
+	}
+	for i, v := range atoms {
+		if i > 0 && v == atoms[i-1] {
+			continue // dedup across components
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		// The jump at v: CCDF(v-) - CCDF(v) is the mixture's mass at v.
+		// Atoms whose mass rounds away (below one ulp of the CCDF) keep no
+		// interval and stay on the bisection path.
+		lo := m.CCDF(v)
+		hi := m.CCDF(math.Nextafter(v, math.Inf(-1)))
+		if hi <= lo {
+			continue
+		}
+		a.atoms = append(a.atoms, v)
+		a.ulo = append(a.ulo, lo)
+		a.uhi = append(a.uhi, hi)
+	}
+	if len(a.atoms) == 0 {
+		return nil
+	}
+	return a
+}
+
+// lookup returns the exact quantile for u when u lies inside some atom's
+// step interval (ulo[i], uhi[i]].
+func (a *stepAtlas) lookup(u float64) (float64, bool) {
+	// ulo is non-increasing in atom order; find the first atom whose step
+	// is strictly below u, then check u against its upper edge.
+	i := sort.Search(len(a.atoms), func(i int) bool { return a.ulo[i] < u })
+	if i == len(a.atoms) || u > a.uhi[i] {
+		return 0, false
+	}
+	return a.atoms[i], true
+}

@@ -11,7 +11,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	want := 16 + 7 // figures + extras
+	want := 16 + 8 // figures + extras
 	if len(ids) != want {
 		t.Errorf("%d experiment ids, want %d: %v", len(ids), want, ids)
 	}
@@ -151,6 +151,44 @@ func TestExtrasRun(t *testing.T) {
 	}
 	for _, id := range []string{"kernels", "bounded", "seqest", "adaptive"} {
 		runAndRender(t, id)
+	}
+}
+
+// TestSketchExperiment pins the sketch figure's acceptance shape: the
+// exact baseline row scores a perfect overlap with itself, every
+// overlap is a valid fraction, the bounded rows respect their slot
+// budgets, and at the largest budget each sketch tracks the sampled
+// top-10 at least as well as at the smallest (memory never hurts).
+func TestSketchExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sketch sweep takes seconds")
+	}
+	tabs := runAndRender(t, "sketch")
+	rows := tabs[0].Rows
+	type cell struct{ small, large float64 }
+	best := map[string]*cell{} // rate|kind -> overlap at smallest/largest budget
+	for _, row := range rows {
+		vsSampled := mustFloat(t, row[3])
+		vsTrue := mustFloat(t, row[4])
+		if vsSampled < 0 || vsSampled > 1 || vsTrue < 0 || vsTrue > 1 {
+			t.Fatalf("overlap out of range: %v", row)
+		}
+		if row[1] == "exact" {
+			if vsSampled != 1 {
+				t.Errorf("exact row vs-sampled overlap = %v", row[3])
+			}
+			continue
+		}
+		k := row[0] + "|" + row[1]
+		if best[k] == nil {
+			best[k] = &cell{small: vsSampled} // budgets ascend within a group
+		}
+		best[k].large = vsSampled
+	}
+	for k, c := range best {
+		if c.large+1e-9 < c.small {
+			t.Errorf("%s: overlap fell from %g to %g as the budget grew", k, c.small, c.large)
+		}
 	}
 }
 

@@ -153,32 +153,7 @@ func (t *Table) Entries() []Entry {
 // Top returns the k largest flows in ranking order without sorting the
 // whole table: a size-k min-heap pass, O(n log k).
 func (t *Table) Top(k int) []Entry {
-	if k <= 0 {
-		return nil
-	}
-	h := make(entryMinHeap, 0, k+1)
-	for _, e := range t.entries {
-		if len(h) < k {
-			h = append(h, *e)
-			if len(h) == k {
-				heap.Init(&h)
-			}
-			continue
-		}
-		// Replace the heap minimum when e ranks above it.
-		if Less(*e, h[0]) {
-			h[0] = *e
-			heap.Fix(&h, 0)
-		}
-	}
-	if len(h) < k {
-		heap.Init(&h)
-	}
-	out := make([]Entry, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Entry)
-	}
-	return out
+	return t.AppendTop(nil, k)
 }
 
 // MergeEntries k-way merges entry lists that are already in the canonical
@@ -186,7 +161,7 @@ func (t *Table) Top(k int) []Entry {
 // Entries are not coalesced by key: the intended callers merge shard
 // tables, whose key spaces are disjoint by construction.
 func MergeEntries(lists ...[]Entry) []Entry {
-	return mergeSorted(-1, lists)
+	return mergeSortedInto(nil, -1, lists)
 }
 
 // MergeTop merges canonically sorted per-shard top lists and returns the
@@ -197,12 +172,12 @@ func MergeTop(k int, lists ...[]Entry) []Entry {
 	if k <= 0 {
 		return nil
 	}
-	return mergeSorted(k, lists)
+	return mergeSortedInto(nil, k, lists)
 }
 
-// mergeSorted merges sorted lists, stopping after limit entries
-// (limit < 0 means merge everything).
-func mergeSorted(limit int, lists [][]Entry) []Entry {
+// mergeSortedInto merges sorted lists into dst, stopping after limit
+// appended entries (limit < 0 means merge everything).
+func mergeSortedInto(dst []Entry, limit int, lists [][]Entry) []Entry {
 	h := make(mergeHeap, 0, len(lists))
 	total := 0
 	for _, l := range lists {
@@ -215,10 +190,11 @@ func mergeSorted(limit int, lists [][]Entry) []Entry {
 		total = limit
 	}
 	if len(h) == 1 {
-		return append([]Entry(nil), h[0].list[:total]...)
+		return append(dst, h[0].list[:total]...)
 	}
 	heap.Init(&h)
-	out := make([]Entry, 0, total)
+	out := dst
+	total += len(dst)
 	for len(h) > 0 && len(out) < total {
 		c := &h[0]
 		out = append(out, c.list[c.pos])

@@ -1,0 +1,259 @@
+package flowtable
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"flowrank/internal/flow"
+)
+
+// Summary is the per-shard flow-accounting contract of the streaming
+// engine: everything a shard worker needs to account packets and report
+// a bin. Four implementations ship with the package, from exact to
+// bounded memory:
+//
+//   - Flat (KindExact): open-addressing exact table, the default hot path
+//   - Table (KindMap): map-based exact table, the reference implementation
+//   - SpaceSaving (KindSpaceSaving): top-k counters, O(k) memory,
+//     deterministic per-flow overcount bound (Metwally et al.)
+//   - CountMin (KindCountMin): count-min sketch plus a top-k heap, O(k)
+//     memory, probabilistic overcount bound (Cormode–Muthukrishnan)
+//
+// Exact summaries report every flow with its true count; bounded ones
+// report at most their slot budget of flows, each count an overestimate
+// by at most ErrorBound. Totals (TotalPackets/TotalBytes) are exact for
+// every implementation — each Add is tallied whether or not the flow
+// keeps a slot.
+type Summary interface {
+	// AddAggregated accounts one packet whose key is already aggregated.
+	AddAggregated(key flow.Key, time float64, size int64)
+	// Len returns the number of flows currently tracked.
+	Len() int
+	// TotalPackets and TotalBytes are exact totals over every Add.
+	TotalPackets() int64
+	TotalBytes() int64
+	// AppendEntries appends all tracked flows to dst in the canonical
+	// ranking order (only the appended region is sorted) and returns dst.
+	AppendEntries(dst []Entry) []Entry
+	// AppendTop appends the k highest-ranked tracked flows to dst in
+	// ranking order and returns dst.
+	AppendTop(dst []Entry, k int) []Entry
+	// AppendCounts adds every tracked flow's packet count to dst
+	// (allocating it when nil) and returns it.
+	AppendCounts(dst map[flow.Key]int64) map[flow.Key]int64
+	// ErrorBound returns the summary's current worst-case per-flow packet
+	// overcount: 0 for exact tables, the largest evicted count for
+	// Space-Saving (deterministic), and the 2·packets/width Markov bound
+	// for Count-Min (holds per flow with probability >= 1 - 2^-depth).
+	ErrorBound() int64
+	// Reset clears the summary for the next bin, keeping its memory.
+	Reset()
+}
+
+// Kind selects a Summary implementation.
+type Kind int
+
+const (
+	// KindExact is the open-addressing exact table (Flat), the default.
+	KindExact Kind = iota
+	// KindMap is the map-based exact table (Table), kept as the reference
+	// implementation for differential testing.
+	KindMap
+	// KindSpaceSaving is the Space-Saving top-k summary.
+	KindSpaceSaving
+	// KindCountMin is the Count-Min sketch + top-k heap summary.
+	KindCountMin
+)
+
+// String returns the flowtop -table spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindExact:
+		return "exact"
+	case KindMap:
+		return "map"
+	case KindSpaceSaving:
+		return "spacesaving"
+	case KindCountMin:
+		return "countmin"
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// defaultSketchSlots is the per-shard slot budget when a bounded Spec
+// leaves Slots at 0.
+const defaultSketchSlots = 4096
+
+// Spec selects and sizes the Summary implementation a stream shard uses.
+// The zero Spec is the exact open-addressing table at its default
+// pre-size — the configuration every existing caller gets implicitly.
+type Spec struct {
+	Kind Kind
+	// Slots is the memory budget in flow slots. For the exact kinds it is
+	// a pre-size hint (the table still grows past it); for the bounded
+	// kinds it is the hard per-shard budget (default 4096). The Count-Min
+	// kind additionally keeps a depth-4 counter array of 4x Slots width.
+	Slots int
+}
+
+// Validate rejects unusable specs.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindExact, KindMap, KindSpaceSaving, KindCountMin:
+	default:
+		return fmt.Errorf("flowtable: unknown table kind %d", int(s.Kind))
+	}
+	if s.Slots < 0 {
+		return fmt.Errorf("flowtable: negative slot budget %d", s.Slots)
+	}
+	return nil
+}
+
+// Exact reports whether the spec's summaries report every flow with its
+// exact count (and therefore merge exactly across shard partitions).
+func (s Spec) Exact() bool { return s.Kind == KindExact || s.Kind == KindMap }
+
+// String renders "exact", "spacesaving(4096)", ...
+func (s Spec) String() string {
+	if s.Exact() {
+		return s.Kind.String()
+	}
+	return fmt.Sprintf("%s(%d)", s.Kind, s.sketchSlots())
+}
+
+func (s Spec) sketchSlots() int {
+	if s.Slots == 0 {
+		return defaultSketchSlots
+	}
+	return s.Slots
+}
+
+// New builds one summary of the spec's kind for the aggregation.
+func (s Spec) New(agg flow.Aggregator) (Summary, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case KindMap:
+		return New(agg), nil
+	case KindSpaceSaving:
+		return NewSpaceSaving(agg, s.sketchSlots()), nil
+	case KindCountMin:
+		return NewCountMin(agg, s.sketchSlots()), nil
+	default:
+		return NewFlat(agg, s.Slots), nil
+	}
+}
+
+// ParseSpec maps a flowtop -table/-memory flag pair to a Spec.
+func ParseSpec(kind string, slots int) (Spec, error) {
+	s := Spec{Slots: slots}
+	switch kind {
+	case "", "exact":
+		s.Kind = KindExact
+	case "map":
+		s.Kind = KindMap
+	case "spacesaving":
+		s.Kind = KindSpaceSaving
+	case "countmin":
+		s.Kind = KindCountMin
+	default:
+		return Spec{}, fmt.Errorf("flowtable: unknown table kind %q (want exact, map, spacesaving, or countmin)", kind)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// --- Table's Summary conformance ------------------------------------------
+
+// AppendEntries appends all flows to dst in the canonical ranking order
+// (only the appended region is sorted) and returns it.
+func (t *Table) AppendEntries(dst []Entry) []Entry {
+	base := len(dst)
+	for _, e := range t.entries {
+		dst = append(dst, *e)
+	}
+	tail := dst[base:]
+	sort.Slice(tail, func(i, j int) bool { return Less(tail[i], tail[j]) })
+	return dst
+}
+
+// AppendTop appends the k largest flows in ranking order to dst.
+func (t *Table) AppendTop(dst []Entry, k int) []Entry {
+	if k <= 0 {
+		return dst
+	}
+	h := make(entryMinHeap, 0, k+1)
+	for _, e := range t.entries {
+		h.offer(*e, k)
+	}
+	return h.drainInto(dst)
+}
+
+// AppendCounts adds every flow's packet count to dst (allocating it when
+// nil) and returns it — the pooled-map path of the streaming engine,
+// which clears and reuses one map across bins instead of allocating a
+// fresh Counts map per bin.
+func (t *Table) AppendCounts(dst map[flow.Key]int64) map[flow.Key]int64 {
+	if dst == nil {
+		dst = make(map[flow.Key]int64, len(t.entries))
+	}
+	for k, e := range t.entries {
+		dst[k] = e.Packets
+	}
+	return dst
+}
+
+// ErrorBound implements Summary; Table is exact.
+func (t *Table) ErrorBound() int64 { return 0 }
+
+// --- shared top-k heap helpers --------------------------------------------
+
+// offer pushes e into the size-k min-heap of currently-best entries,
+// displacing the heap minimum when e ranks above it.
+func (h *entryMinHeap) offer(e Entry, k int) {
+	if len(*h) < k {
+		*h = append(*h, e)
+		if len(*h) == k {
+			heap.Init(h)
+		}
+		return
+	}
+	if Less(e, (*h)[0]) {
+		(*h)[0] = e
+		heap.Fix(h, 0)
+	}
+}
+
+// drainInto empties the heap into dst in ranking order (best first).
+func (h *entryMinHeap) drainInto(dst []Entry) []Entry {
+	if len(*h) == 0 {
+		return dst
+	}
+	// The heap may not have been initialized when fewer than k entries
+	// were offered.
+	heap.Init(h)
+	base := len(dst)
+	dst = append(dst, make([]Entry, len(*h))...)
+	for i := len(dst) - 1; i >= base; i-- {
+		dst[i] = heap.Pop(h).(Entry)
+	}
+	return dst
+}
+
+// MergeEntriesInto is MergeEntries appending into dst — the pooled-slice
+// path of the streaming engine's bin barrier.
+func MergeEntriesInto(dst []Entry, lists ...[]Entry) []Entry {
+	return mergeSortedInto(dst, -1, lists)
+}
+
+// MergeTopInto is MergeTop appending into dst.
+func MergeTopInto(dst []Entry, k int, lists ...[]Entry) []Entry {
+	if k <= 0 {
+		return dst
+	}
+	return mergeSortedInto(dst, k, lists)
+}

@@ -1,0 +1,140 @@
+package flowtable
+
+import (
+	"strings"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/randx"
+)
+
+// TestSummaryConformance drives every Spec kind through the full
+// Summary surface — packet Add, aggregated add, append accessors,
+// Reset — and checks the observations every implementation must agree
+// on: exact totals, budget respect, and top-1 identity on a stream
+// with one unambiguous heavy hitter.
+func TestSummaryConformance(t *testing.T) {
+	for _, kind := range []string{"exact", "map", "spacesaving", "countmin"} {
+		spec, err := ParseSpec(kind, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := spec.New(flow.FiveTuple{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := randx.New(41)
+		heavy := pkt(250, 100, 0).Key
+		for round := 0; round < 2; round++ {
+			var pkts, bytes int64
+			for i := 0; i < 5000; i++ {
+				if i%3 == 0 {
+					sum.AddAggregated(heavy, float64(i), 100)
+					pkts++
+					bytes += 100
+				} else {
+					p := pkt(byte(g.IntN(200)), 40+g.IntN(1400), float64(i))
+					sum.AddAggregated(p.Key, p.Time, int64(p.Size))
+					pkts++
+					bytes += int64(p.Size)
+				}
+			}
+			if sum.TotalPackets() != pkts || sum.TotalBytes() != bytes {
+				t.Errorf("%s round %d: totals %d/%d, want %d/%d",
+					kind, round, sum.TotalPackets(), sum.TotalBytes(), pkts, bytes)
+			}
+			if !spec.Exact() && sum.Len() > 128 {
+				t.Errorf("%s round %d: %d flows tracked, budget 128", kind, round, sum.Len())
+			}
+			top := sum.AppendTop(nil, 3)
+			if len(top) != 3 || top[0].Key != heavy {
+				t.Errorf("%s round %d: top-3 %+v misses the heavy hitter", kind, round, top)
+			}
+			entries := sum.AppendEntries(nil)
+			if len(entries) != sum.Len() || entries[0].Key != heavy {
+				t.Errorf("%s round %d: %d entries, first %+v", kind, round, len(entries), entries[0])
+			}
+			counts := sum.AppendCounts(nil)
+			if len(counts) != sum.Len() || counts[heavy] < top[0].Packets {
+				t.Errorf("%s round %d: counts map disagrees with top list", kind, round)
+			}
+			if bound := sum.ErrorBound(); spec.Exact() && bound != 0 {
+				t.Errorf("%s round %d: exact kind reports ErrorBound %d", kind, round, bound)
+			}
+			// A bin boundary: the summary must come back empty and reusable.
+			sum.Reset()
+			if sum.Len() != 0 || sum.TotalPackets() != 0 || sum.TotalBytes() != 0 {
+				t.Fatalf("%s: Reset left state behind", kind)
+			}
+		}
+	}
+}
+
+// TestSummaryPacketAdd covers the unaggregated packet entry point of
+// the sketches (the aggregator applies before accounting).
+func TestSummaryPacketAdd(t *testing.T) {
+	agg := flow.DstPrefix{Bits: 24}
+	ss := NewSpaceSaving(agg, 16)
+	cm := NewCountMin(agg, 16)
+	a, b := pkt(1, 100, 0), pkt(2, 100, 1)
+	// Same /24 destination: one aggregate flow in both sketches.
+	ss.Add(a)
+	ss.Add(b)
+	cm.Add(a)
+	cm.Add(b)
+	if ss.Len() != 1 || cm.Len() != 1 {
+		t.Errorf("aggregation not applied: ss %d, cm %d flows", ss.Len(), cm.Len())
+	}
+	want := agg.Aggregate(a.Key)
+	if e, ok := ss.Lookup(want); !ok || e.Packets != 2 {
+		t.Errorf("spacesaving entry %+v, %v", e, ok)
+	}
+	if e, ok := cm.Lookup(want); !ok || e.Packets != 2 {
+		t.Errorf("countmin entry %+v, %v", e, ok)
+	}
+	if _, ok := cm.Lookup(a.Key); ok {
+		t.Error("unaggregated key tracked")
+	}
+	if cm.Estimate(want) < 2 {
+		t.Errorf("Estimate = %d, want >= 2", cm.Estimate(want))
+	}
+	if cm.Width() < 4*16 {
+		t.Errorf("Width = %d, want >= 4k", cm.Width())
+	}
+}
+
+// TestSpecStrings pins the flag-facing names.
+func TestSpecStrings(t *testing.T) {
+	cases := []struct {
+		kind  string
+		slots int
+		want  string
+	}{
+		{"exact", 0, "exact"},
+		{"", 0, "exact"},
+		{"map", 512, "map"},
+		{"spacesaving", 0, "spacesaving(4096)"},
+		{"countmin", 64, "countmin(64)"},
+	}
+	for _, c := range cases {
+		spec, err := ParseSpec(c.kind, c.slots)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q, %d): %v", c.kind, c.slots, err)
+		}
+		if spec.String() != c.want {
+			t.Errorf("ParseSpec(%q, %d).String() = %q, want %q", c.kind, c.slots, spec.String(), c.want)
+		}
+	}
+	if _, err := ParseSpec("bloom", 0); err == nil || !strings.Contains(err.Error(), "bloom") {
+		t.Errorf("unknown kind error = %v", err)
+	}
+	if err := (Spec{Kind: KindSpaceSaving, Slots: -1}).Validate(); err == nil {
+		t.Error("negative slot budget accepted")
+	}
+	if err := (Spec{Kind: Kind(99)}).Validate(); err == nil {
+		t.Error("unknown kind value accepted")
+	}
+	if _, err := (Spec{Kind: Kind(99)}).New(flow.FiveTuple{}); err == nil {
+		t.Error("New accepted an invalid spec")
+	}
+}

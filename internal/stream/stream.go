@@ -7,16 +7,21 @@
 // decision in trace order, so the sampler's decision stream is exactly the
 // one the sequential monitor would draw. Packets are then batched and
 // dispatched to W shard workers by hash of the aggregated flow key; each
-// shard owns its own original/sampled flowtable.Table pair, so the hot
-// path takes no locks and shares no state. At each bin boundary a barrier
-// flushes every shard; the per-shard sorted entry lists and Top lists are
-// k-way merged (exact, because the shards partition the key space) into
-// one BinResult carrying the paper's §5/§7 swapped-pair metrics.
+// shard owns its own original/sampled flowtable.Summary pair (the exact
+// open-addressing table by default, or a bounded Space-Saving/Count-Min
+// sketch via Config.Tables), so the hot path takes no locks and shares no
+// state. At each bin boundary a barrier flushes every shard; the per-shard
+// sorted entry lists and Top lists are k-way merged (exact, because the
+// shards partition the key space) into one BinResult carrying the paper's
+// §5/§7 swapped-pair metrics.
 //
-// The engine is bit-identical to the sequential path for any worker count:
-// with Workers == 1 no goroutines are started and packets are accounted
-// inline, and the cross-check tests pin Workers == N to that output
-// exactly, in the same spirit as the model engine's Workers=1-vs-N tests.
+// With exact tables the engine is bit-identical to the sequential path for
+// any worker count: with Workers == 1 no goroutines are started and
+// packets are accounted inline, and the cross-check tests pin Workers == N
+// to that output exactly, in the same spirit as the model engine's
+// Workers=1-vs-N tests. Bounded summaries keep that determinism only per
+// fixed worker count — the shard partition is part of a sketch's input —
+// so across worker counts they agree within BinResult.CountErr instead.
 package stream
 
 import (
@@ -59,6 +64,19 @@ type Config struct {
 	// bit-identical contract: it depends only on the merged multiset of
 	// sampled counts, never on worker count or batch size.
 	Inverter invert.Estimator
+	// Tables selects the per-shard flow-accounting implementation for both
+	// the original and sampled tables (flowtop -table/-memory). The zero
+	// Spec is the exact open-addressing table. Bounded kinds (spacesaving,
+	// countmin) cap each shard at Tables.Slots flows; their results carry
+	// the per-flow overcount bound in BinResult.CountErr and are
+	// deterministic only per fixed worker count.
+	Tables flowtable.Spec
+	// Recycle, when set, reuses the engine's per-bin buffers (BinResult's
+	// Orig/SampledTop slices and Sampled map) across bins: steady-state
+	// bins allocate almost nothing, but every BinResult is valid only
+	// until the emit callback returns. Leave it unset when retaining
+	// results beyond emit.
+	Recycle bool
 }
 
 // BinResult is the merged measurement of one non-empty bin.
@@ -84,6 +102,11 @@ type BinResult struct {
 	// Inversion is the estimated original flow-size distribution of the
 	// bin, present only when Config.Inverter is set.
 	Inversion *InversionSummary
+	// CountErr is the worst-case per-flow packet overcount of any entry in
+	// this result: 0 for exact tables, the maximum shard ErrorBound for
+	// bounded summaries (deterministic for Space-Saving, probabilistic —
+	// holding per flow with probability >= 1 - 2^-4 — for Count-Min).
+	CountErr int64
 }
 
 // item is one packet after the reader stage: key aggregated, sampling
@@ -108,14 +131,23 @@ type shardSummary struct {
 	sampled                map[flow.Key]int64
 	origPackets, origBytes int64
 	sampPackets, sampBytes int64
+	countErr               int64
 }
 
 // shard owns one partition of the key space.
 type shard struct {
-	orig, samp *flowtable.Table
+	orig, samp flowtable.Summary
 	topT       int
+	recycle    bool
 	in         chan shardMsg     // nil when the engine runs inline
 	out        chan shardSummary // one summary per flush barrier
+	// Persistent summarize buffers, reused across bins when recycle is
+	// set. Safe: the barrier hands each bin's summary to the merge, and
+	// the next flush — the next time these buffers are touched — starts
+	// only after the previous bin's emit returned.
+	origBuf []flowtable.Entry
+	topBuf  []flowtable.Entry
+	sampBuf map[flow.Key]int64
 }
 
 func (s *shard) add(it item) {
@@ -129,14 +161,28 @@ func (s *shard) add(it item) {
 // sort of the shard's entries happens here — in parallel across shards —
 // leaving only the k-way merge to the barrier.
 func (s *shard) summarize() shardSummary {
+	var origDst, topDst []flowtable.Entry
+	var sampDst map[flow.Key]int64
+	if s.recycle {
+		origDst, topDst = s.origBuf[:0], s.topBuf[:0]
+		sampDst = s.sampBuf
+		clear(sampDst)
+	}
 	sum := shardSummary{
-		orig:        s.orig.Entries(),
-		sampTop:     s.samp.Top(s.topT),
-		sampled:     s.samp.Counts(),
+		orig:        s.orig.AppendEntries(origDst),
+		sampTop:     s.samp.AppendTop(topDst, s.topT),
+		sampled:     s.samp.AppendCounts(sampDst),
 		origPackets: s.orig.TotalPackets(),
 		origBytes:   s.orig.TotalBytes(),
 		sampPackets: s.samp.TotalPackets(),
 		sampBytes:   s.samp.TotalBytes(),
+	}
+	sum.countErr = s.orig.ErrorBound()
+	if b := s.samp.ErrorBound(); b > sum.countErr {
+		sum.countErr = b
+	}
+	if s.recycle {
+		s.origBuf, s.topBuf, s.sampBuf = sum.orig, sum.sampTop, sum.sampled
 	}
 	s.orig.Reset()
 	s.samp.Reset()
@@ -177,6 +223,12 @@ type Engine struct {
 	err        error
 	closed     bool
 	stopped    bool // workers shut down
+	// Engine-owned merge buffers, reused across bins when cfg.Recycle is
+	// set (multi-shard path only; the single-shard path aliases the
+	// shard's own recycled buffers).
+	mergedOrig []flowtable.Entry
+	mergedTop  []flowtable.Entry
+	mergedSamp map[flow.Key]int64
 }
 
 var errClosed = errors.New("stream: engine already closed")
@@ -217,13 +269,25 @@ func NewEngine(cfg Config, emit func(BinResult) error) (*Engine, error) {
 	if emit == nil {
 		return nil, errors.New("stream: emit callback is required")
 	}
+	if err := cfg.Tables.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{cfg: cfg, emit: emit}
 	e.shards = make([]*shard, cfg.Workers)
 	for i := range e.shards {
+		orig, err := cfg.Tables.New(cfg.Agg)
+		if err != nil {
+			return nil, err
+		}
+		samp, err := cfg.Tables.New(cfg.Agg)
+		if err != nil {
+			return nil, err
+		}
 		e.shards[i] = &shard{
-			orig: flowtable.New(cfg.Agg),
-			samp: flowtable.New(cfg.Agg),
-			topT: cfg.TopT,
+			orig:    orig,
+			samp:    samp,
+			topT:    cfg.TopT,
+			recycle: cfg.Recycle,
 		}
 	}
 	if cfg.Workers > 1 {
@@ -340,9 +404,12 @@ func (e *Engine) flushBin() error {
 }
 
 // mergeBin combines the per-shard summaries into the global bin result.
-// The merges are exact: shards partition the key space, so the global
-// sorted order is the k-way merge of the shard orders, and the global
-// top-k is the k-way merge of the shard top-k lists.
+// For exact tables the merges are exact: shards partition the key space,
+// so the global sorted order is the k-way merge of the shard orders, and
+// the global top-k is the k-way merge of the shard top-k lists. For
+// bounded summaries the same merge applies to the per-shard estimates —
+// still exact with respect to the shard partition, with the per-flow
+// estimation error carried in CountErr.
 func (e *Engine) mergeBin(sums []shardSummary) BinResult {
 	r := BinResult{
 		Bin:   e.bin,
@@ -364,22 +431,38 @@ func (e *Engine) mergeBin(sums []shardSummary) BinResult {
 		r.SampledPackets += s.sampPackets
 		r.SampledBytes += s.sampBytes
 		r.SampledFlows += len(s.sampled)
+		if s.countErr > r.CountErr {
+			r.CountErr = s.countErr
+		}
 	}
 	if len(sums) == 1 {
-		// Single shard: its summary is a fresh snapshot owned by nobody
-		// else, so alias it instead of re-copying — this is the hot path
-		// of the sequential (Workers=1) engine.
+		// Single shard: alias its summary instead of re-copying — this is
+		// the hot path of the sequential (Workers=1) engine. Without
+		// Recycle the snapshot is fresh and owned by nobody else; with it,
+		// the aliasing is what makes the bin buffers shard-recycled.
 		r.Orig = sums[0].orig
 		r.SampledTop = sums[0].sampTop
 		r.Sampled = sums[0].sampled
 	} else {
-		r.Orig = flowtable.MergeEntries(origLists...)
-		r.SampledTop = flowtable.MergeTop(e.cfg.TopT, topLists...)
-		r.Sampled = make(map[flow.Key]int64, r.SampledFlows)
+		var origDst, topDst []flowtable.Entry
+		sampDst := e.mergedSamp
+		if e.cfg.Recycle {
+			origDst, topDst = e.mergedOrig[:0], e.mergedTop[:0]
+			clear(sampDst)
+		}
+		if sampDst == nil {
+			sampDst = make(map[flow.Key]int64, r.SampledFlows)
+		}
+		r.Orig = flowtable.MergeEntriesInto(origDst, origLists...)
+		r.SampledTop = flowtable.MergeTopInto(topDst, e.cfg.TopT, topLists...)
 		for i := range sums {
 			for k, v := range sums[i].sampled {
-				r.Sampled[k] = v
+				sampDst[k] = v
 			}
+		}
+		r.Sampled = sampDst
+		if e.cfg.Recycle {
+			e.mergedOrig, e.mergedTop, e.mergedSamp = r.Orig, r.SampledTop, r.Sampled
 		}
 	}
 	r.Pairs = metrics.CountSwapped(r.Orig, r.Sampled, e.cfg.TopT)

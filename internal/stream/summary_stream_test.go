@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/sampler"
+)
+
+// copyBin deep-copies a BinResult so it can be retained past emit when
+// the engine recycles its buffers.
+func copyBin(b BinResult) BinResult {
+	out := b
+	out.Orig = append([]flowtable.Entry(nil), b.Orig...)
+	out.SampledTop = append([]flowtable.Entry(nil), b.SampledTop...)
+	out.Sampled = make(map[flow.Key]int64, len(b.Sampled))
+	for k, v := range b.Sampled {
+		out.Sampled[k] = v
+	}
+	if b.Inversion != nil {
+		inv := *b.Inversion
+		out.Inversion = &inv
+	}
+	return out
+}
+
+// TestEngineTableKindsExactInvariance: the open-addressing table and the
+// map reference must produce bit-identical bin streams for any worker
+// count and batch size, with CountErr always 0.
+func TestEngineTableKindsExactInvariance(t *testing.T) {
+	pkts := makePackets(t, 15, 150, 17)
+	base := func(spec flowtable.Spec) Config {
+		return Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(0.2, 23),
+			BinSeconds: 5,
+			TopT:       10,
+			Workers:    1,
+			Tables:     spec,
+		}
+	}
+	want := runEngine(t, base(flowtable.Spec{Kind: flowtable.KindMap}), pkts)
+	if len(want) < 3 {
+		t.Fatalf("degenerate trace: only %d bins", len(want))
+	}
+	for _, b := range want {
+		if b.CountErr != 0 {
+			t.Fatalf("bin %d: exact table reports CountErr %d", b.Bin, b.CountErr)
+		}
+	}
+	specs := []flowtable.Spec{
+		{},                          // zero spec = flat, default pre-size
+		{Kind: flowtable.KindExact}, // explicit flat
+		{Kind: flowtable.KindExact, Slots: 10000}, // pre-sized flat
+		{Kind: flowtable.KindMap},
+	}
+	for _, spec := range specs {
+		for _, workers := range []int{1, 4} {
+			for _, batch := range []int{1, 7, 512} {
+				cfg := base(spec)
+				cfg.Workers = workers
+				cfg.BatchSize = batch
+				got := runEngine(t, cfg, pkts)
+				compareBins(t, fmt.Sprintf("spec=%v workers=%d batch=%d", spec, workers, batch), got, want)
+			}
+		}
+	}
+}
+
+// TestEngineRecycleMatches: buffer recycling must not change any bin's
+// content — only its lifetime. Each recycled bin, deep-copied inside
+// emit, must equal the retained bin of the non-recycling run.
+func TestEngineRecycleMatches(t *testing.T) {
+	pkts := makePackets(t, 15, 150, 19)
+	for _, spec := range []flowtable.Spec{{}, {Kind: flowtable.KindSpaceSaving, Slots: 64}} {
+		for _, workers := range []int{1, 4} {
+			// The sampler is a stateful PRNG: every run needs a fresh one.
+			mkCfg := func() Config {
+				return Config{
+					Agg:        flow.FiveTuple{},
+					Sampler:    sampler.NewBernoulli(0.3, 31),
+					BinSeconds: 5,
+					TopT:       10,
+					Workers:    workers,
+					Tables:     spec,
+				}
+			}
+			want := runEngine(t, mkCfg(), pkts)
+			cfg := mkCfg()
+			cfg.Recycle = true
+			var got []BinResult
+			eng, err := NewEngine(cfg, func(b BinResult) error {
+				got = append(got, copyBin(b))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				if err := eng.Feed(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+			compareBins(t, fmt.Sprintf("spec=%v workers=%d recycle", spec, workers), got, want)
+		}
+	}
+}
+
+// TestEngineBoundedDeterminism: for a fixed worker count and input, the
+// bounded summaries are fully deterministic — two runs produce identical
+// bin streams. (Across worker counts only the error bound is promised:
+// the shard partition is part of a sketch's input.)
+func TestEngineBoundedDeterminism(t *testing.T) {
+	pkts := makePackets(t, 15, 150, 37)
+	for _, kind := range []flowtable.Kind{flowtable.KindSpaceSaving, flowtable.KindCountMin} {
+		for _, workers := range []int{1, 4} {
+			mkCfg := func() Config {
+				return Config{
+					Agg:        flow.FiveTuple{},
+					Sampler:    sampler.NewBernoulli(0.5, 41),
+					BinSeconds: 5,
+					TopT:       10,
+					Workers:    workers,
+					Tables:     flowtable.Spec{Kind: kind, Slots: 32},
+				}
+			}
+			a := runEngine(t, mkCfg(), pkts)
+			b := runEngine(t, mkCfg(), pkts)
+			compareBins(t, fmt.Sprintf("kind=%v workers=%d rerun", kind, workers), a, b)
+			if len(a) < 2 {
+				t.Fatalf("kind=%v: degenerate trace: %d bins", kind, len(a))
+			}
+		}
+	}
+}
+
+// TestEngineBoundedErrorBound: every count a bounded summary reports must
+// bracket the exact count from above within the bin's CountErr — across
+// worker counts, where bit-identity is not promised — while the exact
+// totals stay exact.
+func TestEngineBoundedErrorBound(t *testing.T) {
+	pkts := makePackets(t, 15, 200, 43)
+	base := func(spec flowtable.Spec, workers int) Config {
+		return Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(0.5, 47),
+			BinSeconds: 5,
+			TopT:       10,
+			Workers:    workers,
+			Tables:     spec,
+		}
+	}
+	exact := runEngine(t, base(flowtable.Spec{}, 1), pkts)
+	exactSampled := make([]map[flow.Key]int64, len(exact))
+	exactOrig := make([]map[flow.Key]int64, len(exact))
+	for i, b := range exact {
+		exactSampled[i] = b.Sampled
+		exactOrig[i] = make(map[flow.Key]int64, len(b.Orig))
+		for _, e := range b.Orig {
+			exactOrig[i][e.Key] = e.Packets
+		}
+	}
+	for _, kind := range []flowtable.Kind{flowtable.KindSpaceSaving, flowtable.KindCountMin} {
+		for _, workers := range []int{1, 4} {
+			got := runEngine(t, base(flowtable.Spec{Kind: kind, Slots: 48}, workers), pkts)
+			if len(got) != len(exact) {
+				t.Fatalf("kind=%v workers=%d: %d bins, want %d", kind, workers, len(got), len(exact))
+			}
+			pressured := 0
+			for i, b := range got {
+				if b.OrigPackets != exact[i].OrigPackets || b.SampledPackets != exact[i].SampledPackets ||
+					b.OrigBytes != exact[i].OrigBytes || b.SampledBytes != exact[i].SampledBytes {
+					t.Fatalf("kind=%v workers=%d bin %d: totals diverge from exact", kind, workers, b.Bin)
+				}
+				if b.CountErr > 0 {
+					pressured++
+				}
+				check := func(key flow.Key, est int64, truth map[flow.Key]int64, label string) {
+					tr := truth[key]
+					if est < tr || est > tr+b.CountErr {
+						t.Fatalf("kind=%v workers=%d bin %d %s: estimate %d outside [%d, %d]",
+							kind, workers, b.Bin, label, est, tr, tr+b.CountErr)
+					}
+				}
+				for key, est := range b.Sampled {
+					check(key, est, exactSampled[i], "sampled")
+				}
+				for _, e := range b.Orig {
+					check(e.Key, e.Packets, exactOrig[i], "orig")
+				}
+			}
+			if pressured == 0 {
+				// The tiny slot budget must have evicted in at least one
+				// bin, or the bound checks above are vacuous.
+				t.Fatalf("kind=%v workers=%d: no bin under memory pressure", kind, workers)
+			}
+		}
+	}
+}
+
+// TestEngineSpaceSavingExactWhenUnderBudget: with a slot budget no shard
+// ever fills, Space-Saving never evicts and is exact — its bin stream
+// must be bit-identical to the exact table's (packet counts, ordering,
+// CountErr 0). This pins the takeover path as the only source of error.
+func TestEngineSpaceSavingExactWhenUnderBudget(t *testing.T) {
+	pkts := makePackets(t, 15, 120, 53)
+	for _, workers := range []int{1, 4} {
+		mkCfg := func() Config {
+			return Config{
+				Agg:        flow.FiveTuple{},
+				Sampler:    sampler.NewBernoulli(0.4, 59),
+				BinSeconds: 5,
+				TopT:       10,
+				Workers:    workers,
+			}
+		}
+		want := runEngine(t, mkCfg(), pkts)
+		for _, b := range want {
+			if len(b.Orig) > 50000 {
+				t.Fatalf("trace too large for the under-budget premise: %d flows", len(b.Orig))
+			}
+		}
+		cfg := mkCfg()
+		cfg.Tables = flowtable.Spec{Kind: flowtable.KindSpaceSaving, Slots: 1 << 16}
+		got := runEngine(t, cfg, pkts)
+		// Byte/First/Last bookkeeping matches too, so DeepEqual applies.
+		compareBins(t, fmt.Sprintf("workers=%d under-budget", workers), got, want)
+	}
+}
+
+func TestEngineRejectsBadTableSpec(t *testing.T) {
+	emit := func(BinResult) error { return nil }
+	bad := []flowtable.Spec{
+		{Kind: flowtable.Kind(99)},
+		{Slots: -1},
+	}
+	for _, spec := range bad {
+		_, err := NewEngine(Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(1, 1),
+			BinSeconds: 1,
+			Tables:     spec,
+		}, emit)
+		if err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
