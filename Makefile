@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet fmt check race bench bench-smoke e2e fuzz-smoke cover
+.PHONY: all build test short vet fmt check race bench bench-smoke e2e e2e-daemon fuzz-smoke cover
 
 all: check
 
@@ -53,6 +53,12 @@ bench-smoke:
 # byte-identical on both trace formats (native and pcap).
 e2e:
 	./scripts/e2e_flowtop.sh
+
+# End-to-end flowrankd check: the real daemon binary replays a trace,
+# its /metrics scrape must match the flowtop batch report, and SIGTERM
+# must drain cleanly.
+e2e-daemon:
+	./scripts/e2e_daemon.sh
 
 # Brief native fuzz runs (~40 s total) over the wire-format edges (the
 # NetFlow decode/encode round trip, the pcap reader/writer) and the flat

@@ -1,0 +1,216 @@
+// Command flowrankd is the link monitor of the paper as a long-running
+// service: it streams packets — a replayed trace (optionally paced at
+// line rate and looped forever), a pcap file, or a live interface when
+// built with -tags live — through the sampled ranking pipeline and
+// exposes the monitor's behavior as a Prometheus scrape endpoint
+// (/metrics, plus /healthz) while optionally exporting each bin's
+// sampled top list as NetFlow v5 datagrams over UDP.
+//
+// Usage:
+//
+//	flowrankd -in trace.pkts -listen :9465
+//	flowrankd -in trace.pkts -loop -speed 1 -p 0.01 -t 10 -bin 60
+//	flowrankd -in trace.pcap -pcap -netflow-udp collector:2055
+//	flowrankd -in trace.pkts -p 0.1 -invert parametric -adapt 1
+//	flowrankd -live eth0            (requires a -tags live build, linux)
+//
+// SIGINT/SIGTERM drain gracefully: the daemon stops reading, flushes the
+// final partial measurement bin (so its metrics and NetFlow export are
+// complete), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"flowrank/internal/daemon"
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/invert"
+	"flowrank/internal/source"
+)
+
+// options carries the parsed command line; run is separated from main so
+// tests can drive the validation and wiring in-process.
+type options struct {
+	in      string
+	isPcap  bool
+	live    string
+	loop    bool
+	loopGap float64
+	speed   float64
+	rate    float64
+	topT    int
+	binSec  float64
+	aggName string
+	seed    uint64
+	workers int
+	invert  string
+	adapt   float64
+	table   string
+	memory  int
+	listen  string
+	nfAddr  string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowrankd: ")
+	var opts options
+	flag.StringVar(&opts.in, "in", "", "input trace to replay (native or, with -pcap, pcap)")
+	flag.BoolVar(&opts.isPcap, "pcap", false, "input trace is a pcap file")
+	flag.StringVar(&opts.live, "live", "", "capture from this interface instead of a trace (needs a -tags live build)")
+	flag.BoolVar(&opts.loop, "loop", false, "replay the trace forever, shifting timestamps monotonically")
+	flag.Float64Var(&opts.loopGap, "loop-gap", 0, "idle seconds spliced between -loop replays (0 = one bin width)")
+	flag.Float64Var(&opts.speed, "speed", 0, "pace replay at this multiple of line rate (1 = real time, 0 = as fast as possible)")
+	flag.Float64Var(&opts.rate, "p", 0.01, "packet sampling probability")
+	flag.IntVar(&opts.topT, "t", 10, "top flows to track per bin")
+	flag.Float64Var(&opts.binSec, "bin", 60, "measurement bin seconds")
+	flag.StringVar(&opts.aggName, "agg", "5tuple", "flow definition: 5tuple or prefix24")
+	flag.Uint64Var(&opts.seed, "seed", 1, "sampler seed")
+	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "shard workers for the streaming engine")
+	flag.StringVar(&opts.invert, "invert", "", "per-bin flow-size inversion: naive, tail, em, or parametric")
+	flag.Float64Var(&opts.adapt, "adapt", 0, "closed-loop target for the ranking metric (0 disables; requires -invert)")
+	flag.StringVar(&opts.table, "table", "exact", "per-shard flow table: exact, spacesaving, or countmin")
+	flag.IntVar(&opts.memory, "memory", 0, "slot budget per bounded table (0 = kind default)")
+	flag.StringVar(&opts.listen, "listen", ":9465", "HTTP address serving /metrics and /healthz")
+	flag.StringVar(&opts.nfAddr, "netflow-udp", "", "export each bin's sampled top list as NetFlow v5 to this UDP host:port")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// validate rejects flag combinations with errors that say what to change
+// instead of silently picking a behavior.
+func validate(opts options) error {
+	switch {
+	case opts.in == "" && opts.live == "":
+		return errors.New("no input: pass -in <trace> to replay a capture, or -live <iface> to monitor an interface")
+	case opts.in != "" && opts.live != "":
+		return errors.New("-in and -live are mutually exclusive: replay a trace or capture live, not both")
+	case opts.live != "" && opts.isPcap:
+		return errors.New("-pcap describes the -in trace format; it does not apply to -live capture")
+	case opts.live != "" && opts.loop:
+		return errors.New("-loop replays a finite trace; a -live capture is already endless")
+	case opts.live != "" && opts.speed > 0:
+		return errors.New("-speed paces trace replay; a -live capture already arrives at line rate")
+	}
+	if opts.speed < 0 {
+		return fmt.Errorf("-speed %g is negative: use 0 for unpaced replay or a positive multiple of line rate", opts.speed)
+	}
+	if opts.loopGap != 0 && !opts.loop {
+		return errors.New("-loop-gap only applies with -loop")
+	}
+	if opts.adapt > 0 && opts.invert == "" {
+		return errors.New("-adapt needs a per-bin inversion to refit against: add -invert parametric (cheapest) or -invert em")
+	}
+	return nil
+}
+
+// inverterByName maps the -invert flag to an estimator; "" disables the
+// inversion stage.
+func inverterByName(name string) (invert.Estimator, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "naive":
+		return invert.Naive{}, nil
+	case "tail":
+		return invert.TailScaling{}, nil
+	case "em":
+		return invert.EM{}, nil
+	case "parametric":
+		return invert.Parametric{}, nil
+	}
+	return nil, fmt.Errorf("unknown -invert %q (want naive, tail, em, or parametric)", name)
+}
+
+// buildSource assembles the ingestion chain the flags describe: the base
+// source (trace, pcap, or live), wrapped by -loop, wrapped by -speed.
+func buildSource(opts options) (source.PacketSource, error) {
+	if opts.live != "" {
+		return source.NewLive(opts.live, 0)
+	}
+	var src source.PacketSource
+	if opts.loop {
+		gap := opts.loopGap
+		if gap == 0 {
+			gap = opts.binSec
+		}
+		lp, err := source.NewLoop(func() (source.PacketSource, error) {
+			return source.Open(opts.in, opts.isPcap)
+		}, gap)
+		if err != nil {
+			return nil, err
+		}
+		src = lp
+	} else {
+		var err error
+		src, err = source.Open(opts.in, opts.isPcap)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.speed > 0 {
+		src = source.Pace(src, opts.speed)
+	}
+	return src, nil
+}
+
+func run(ctx context.Context, opts options, logf func(string, ...any)) error {
+	if err := validate(opts); err != nil {
+		return err
+	}
+	var agg flow.Aggregator = flow.FiveTuple{}
+	switch opts.aggName {
+	case "5tuple":
+	case "prefix24":
+		agg = flow.DstPrefix{Bits: 24}
+	default:
+		return fmt.Errorf("unknown -agg %q", opts.aggName)
+	}
+	inverter, err := inverterByName(opts.invert)
+	if err != nil {
+		return err
+	}
+	spec, err := flowtable.ParseSpec(opts.table, opts.memory)
+	if err != nil {
+		return err
+	}
+	src, err := buildSource(opts)
+	if err != nil {
+		return err
+	}
+	d, err := daemon.New(daemon.Config{
+		Source:      src,
+		Agg:         agg,
+		Rate:        opts.rate,
+		Seed:        opts.seed,
+		TopT:        opts.topT,
+		BinSeconds:  opts.binSec,
+		Workers:     opts.workers,
+		Tables:      spec,
+		Inverter:    inverter,
+		AdaptTarget: opts.adapt,
+		ListenAddr:  opts.listen,
+		NetFlowAddr: opts.nfAddr,
+		Logf:        logf,
+	})
+	if err != nil {
+		src.Close()
+		return err
+	}
+	logf("serving /metrics and /healthz on %s", d.Addr())
+	return d.Run(ctx)
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/packet"
+)
+
+// writeTrace materializes a small deterministic native trace.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.pkts")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := packet.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		id := byte(i % 6)
+		if err := w.Write(packet.Packet{
+			Time: float64(i) * 0.005,
+			Key:  flow.Key{Src: flow.Addr{10, 0, 0, id}, Dst: flow.Addr{10, 0, 1, 1}, DstPort: 80, Proto: 6},
+			Size: 120,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseOptions(in string) options {
+	return options{
+		in:      in,
+		rate:    0.5,
+		topT:    5,
+		binSec:  1,
+		aggName: "5tuple",
+		seed:    1,
+		workers: 2,
+		table:   "exact",
+		listen:  "127.0.0.1:0",
+	}
+}
+
+// TestFlagValidation is the table of flag-combination rejections; every
+// error must name the flag to change.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*options)
+		want string
+	}{
+		{"no input", func(o *options) { o.in = "" }, "-in"},
+		{"in and live", func(o *options) { o.live = "eth0" }, "mutually exclusive"},
+		{"pcap with live", func(o *options) { o.in = ""; o.live = "eth0"; o.isPcap = true }, "-pcap"},
+		{"loop with live", func(o *options) { o.in = ""; o.live = "eth0"; o.loop = true }, "-loop"},
+		{"speed with live", func(o *options) { o.in = ""; o.live = "eth0"; o.speed = 1 }, "-speed"},
+		{"negative speed", func(o *options) { o.speed = -2 }, "-speed"},
+		{"loop-gap without loop", func(o *options) { o.loopGap = 5 }, "-loop-gap"},
+		{"adapt without invert", func(o *options) { o.adapt = 1 }, "-invert"},
+		{"unknown agg", func(o *options) { o.aggName = "7tuple" }, "-agg"},
+		{"unknown invert", func(o *options) { o.invert = "magic" }, "-invert"},
+		{"unknown table", func(o *options) { o.table = "btree" }, "btree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := baseOptions("trace.pkts")
+			tc.mod(&opts)
+			err := run(context.Background(), opts, t.Logf)
+			if err == nil {
+				t.Fatal("run accepted the bad flags")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLiveUnsupportedInHermeticBuild: without the live build tag, -live
+// fails with an error telling the operator how to get it.
+func TestLiveUnsupportedInHermeticBuild(t *testing.T) {
+	opts := baseOptions("")
+	opts.in, opts.live = "", "eth0"
+	err := run(context.Background(), opts, t.Logf)
+	if err == nil {
+		t.Skip("live capture available in this build")
+	}
+	if !strings.Contains(err.Error(), "live capture unavailable") {
+		t.Errorf("error %q does not explain the missing live build", err)
+	}
+}
+
+// TestRunReplayToDrain drives the real binary wiring end to end in
+// process: replay a trace, scrape /metrics while it serves, then cancel
+// (the SIGTERM path) and require a clean exit.
+func TestRunReplayToDrain(t *testing.T) {
+	trace := writeTrace(t)
+	opts := baseOptions(trace)
+	opts.loop = true // endless replay: the daemon must be stopped, like production
+
+	addrCh := make(chan string, 1)
+	logf := func(format string, args ...any) {
+		if strings.Contains(format, "serving") && len(args) == 1 {
+			if a, ok := args[0].(string); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, opts, logf) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for !strings.Contains(body, "flowrankd_up 1") {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never came up; last scrape:\n%s", body)
+		}
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after cancel = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+}

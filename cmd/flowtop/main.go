@@ -41,7 +41,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math"
 	"os"
 	"runtime"
 
@@ -49,12 +48,11 @@ import (
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
 	"flowrank/internal/invert"
-	"flowrank/internal/layers"
 	"flowrank/internal/netflow"
 	"flowrank/internal/packet"
-	"flowrank/internal/pcap"
 	"flowrank/internal/report"
 	"flowrank/internal/sampler"
+	"flowrank/internal/source"
 	"flowrank/internal/stream"
 )
 
@@ -90,7 +88,7 @@ func main() {
 	flag.StringVar(&opts.nfOut, "netflow", "", "write sampled ranking as NetFlow v5 datagrams")
 	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "shard workers for the streaming engine")
 	flag.StringVar(&opts.invert, "invert", "", "estimate the original flow-size distribution per bin: naive, tail, em, or parametric")
-	flag.Float64Var(&opts.adapt, "adapt", 0, "closed-loop target for the §5 ranking metric: after every bin, refit the model to the bin's inversion and set the next bin's sampling rate to the cheapest one meeting the target (0 disables; implies -invert parametric unless -invert is set)")
+	flag.Float64Var(&opts.adapt, "adapt", 0, "closed-loop target for the §5 ranking metric: after every bin, refit the model to the bin's inversion and set the next bin's sampling rate to the cheapest one meeting the target (0 disables; requires -invert)")
 	flag.StringVar(&opts.table, "table", "exact", "per-shard flow table: exact, spacesaving, or countmin (bounded kinds keep at most -memory flows per shard)")
 	flag.IntVar(&opts.memory, "memory", 0, "slot budget per bounded table (0 = kind default; ignored for -table exact)")
 	flag.Parse()
@@ -100,8 +98,8 @@ func main() {
 }
 
 func run(opts options, stdout, stderr io.Writer) error {
-	if opts.in == "" {
-		return errors.New("missing -in trace file")
+	if err := validate(opts); err != nil {
+		return err
 	}
 	var agg flow.Aggregator = flow.FiveTuple{}
 	switch opts.aggName {
@@ -112,22 +110,6 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -agg %q", opts.aggName)
 	}
 
-	f, err := os.Open(opts.in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
-	next, err := openTrace(f, opts.isPcap)
-	if err != nil {
-		return err
-	}
-
-	if opts.adapt > 0 && opts.invert == "" {
-		// The closed loop needs a per-bin inversion to refit the model;
-		// the parametric fixed point is the cheapest one.
-		opts.invert = "parametric"
-	}
 	inverter, err := inverterByName(opts.invert)
 	if err != nil {
 		return err
@@ -136,6 +118,12 @@ func run(opts options, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	src, err := source.Open(opts.in, opts.isPcap)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
 	ctl := adaptive.Controller{Target: opts.adapt, TopT: opts.topT, Workers: opts.workers}
 
 	// The sampler is held concretely so the closed loop can retune its
@@ -188,12 +176,12 @@ func run(opts options, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	var p packet.Packet
 	for {
-		p, err := next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+		if err := src.Next(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
 			// A corrupt trace must not report the half-ingested bin as if
 			// it were a complete measurement.
 			eng.Abort()
@@ -223,6 +211,21 @@ func run(opts options, stdout, stderr io.Writer) error {
 type netflowBin struct {
 	rate    float64
 	records []netflow.Record
+}
+
+// validate rejects flag combinations with errors that say what to change
+// instead of silently picking a behavior.
+func validate(opts options) error {
+	if opts.in == "" {
+		return errors.New("missing -in trace file")
+	}
+	if opts.adapt > 0 && opts.invert == "" {
+		return errors.New("-adapt needs a per-bin inversion to refit against: add -invert parametric (cheapest) or -invert em")
+	}
+	if opts.memory != 0 && opts.table == "exact" {
+		return errors.New("-memory budgets a bounded table: add -table spacesaving or -table countmin, or drop -memory")
+	}
+	return nil
 }
 
 // inverterByName maps the -invert flag to an estimator; "" disables the
@@ -287,35 +290,6 @@ func printInversion(w io.Writer, s *stream.InversionSummary) error {
 	return err
 }
 
-// openTrace returns a packet iterator for either trace format.
-func openTrace(f *os.File, isPcap bool) (func() (packet.Packet, error), error) {
-	if !isPcap {
-		r, err := packet.NewReader(f)
-		if err != nil {
-			return nil, err
-		}
-		return r.Next, nil
-	}
-	r, err := pcap.NewReader(f)
-	if err != nil {
-		return nil, err
-	}
-	var parser layers.Parser
-	return func() (packet.Packet, error) {
-		for {
-			pk, err := r.Next()
-			if err != nil {
-				return packet.Packet{}, err
-			}
-			key, _, perr := parser.Parse(pk.Data)
-			if perr != nil {
-				continue // skip undecodable frames
-			}
-			return packet.Packet{Time: pk.Time, Key: key, Size: pk.OrigLen}, nil
-		}
-	}, nil
-}
-
 func printBin(w io.Writer, b stream.BinResult, topT int) error {
 	// Bounded tables carry a worst-case per-flow overcount; exact tables
 	// report 0 and keep the line format the golden-file tests pin.
@@ -351,62 +325,13 @@ func printBin(w io.Writer, b stream.BinResult, topT int) error {
 	return t.Fprint(w)
 }
 
-// netflowRecord converts a flow-table entry to a v5 record. The v5 counter
-// and timestamp fields are 32-bit; larger accounted values saturate at the
-// field maximum instead of silently wrapping around (or, for the float
-// timestamp conversions, producing implementation-defined garbage).
-func netflowRecord(e flowtable.Entry) netflow.Record {
-	return netflow.Record{
-		Key:         e.Key,
-		Packets:     sat32(e.Packets),
-		Octets:      sat32(e.Bytes),
-		FirstMillis: satMillis(e.First),
-		LastMillis:  satMillis(e.Last),
-	}
-}
+// netflowRecord and samplingInterval are the shared export conversions
+// (saturating 32-bit counters and timestamps, the 14-bit 1-in-N clamp),
+// kept in internal/netflow so flowtop's file export and flowrankd's UDP
+// service clamp identically.
+func netflowRecord(e flowtable.Entry) netflow.Record { return netflow.SaturatingRecord(e) }
 
-// sat32 clamps a count to the uint32 range of the NetFlow v5 fields.
-func sat32(v int64) uint32 {
-	if v < 0 {
-		return 0
-	}
-	if v > math.MaxUint32 {
-		return math.MaxUint32
-	}
-	return uint32(v)
-}
-
-// satMillis converts a second timestamp to the 32-bit millisecond fields,
-// clamping instead of letting an out-of-range float conversion corrupt
-// the export (uint32 overflows after ~49.7 days of trace time).
-func satMillis(seconds float64) uint32 {
-	ms := seconds * 1000
-	if !(ms > 0) { // negative or NaN
-		return 0
-	}
-	if ms >= math.MaxUint32 {
-		return math.MaxUint32
-	}
-	return uint32(ms)
-}
-
-// samplingInterval maps a sampling probability to the v5 header's 1-in-N
-// field, clamped to the 14-bit range the format can carry (rates below
-// 1/16383 cannot be represented; exporting the nearest representable
-// interval beats the silent overflow uint16(1/rate) produced before).
-func samplingInterval(rate float64) uint16 {
-	if rate <= 0 || rate >= 1 {
-		return 1
-	}
-	n := math.Round(1 / rate)
-	if n < 1 {
-		n = 1
-	}
-	if n > netflow.MaxSamplingInterval {
-		n = netflow.MaxSamplingInterval
-	}
-	return uint16(n)
-}
+func samplingInterval(rate float64) uint16 { return netflow.IntervalForRate(rate) }
 
 // writeNetflow exports every bin group under its own sampling interval —
 // datagrams never span bins, so a consumer's 1-in-N rescaling stays

@@ -378,3 +378,40 @@ func TestWriteNetflowPerBinRates(t *testing.T) {
 		t.Errorf("flow sequences %v, want [0 1]", sequences)
 	}
 }
+
+// TestFlagValidation is the table of flag-combination rejections; every
+// error must name the flag to change instead of silently picking a
+// behavior (the old -adapt-implies-parametric fallback is gone).
+func TestFlagValidation(t *testing.T) {
+	base := func() options {
+		return options{
+			in: "trace.pkts", rate: 0.2, topT: 5, binSec: 4,
+			aggName: "5tuple", seed: 1, workers: 1, table: "exact",
+		}
+	}
+	cases := []struct {
+		name string
+		mod  func(*options)
+		want string
+	}{
+		{"missing in", func(o *options) { o.in = "" }, "-in"},
+		{"adapt without invert", func(o *options) { o.adapt = 1 }, "-invert"},
+		{"memory with exact table", func(o *options) { o.memory = 4096 }, "-table"},
+		{"unknown agg", func(o *options) { o.aggName = "7tuple" }, "-agg"},
+		{"unknown invert", func(o *options) { o.invert = "magic" }, "-invert"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := base()
+			tc.mod(&opts)
+			var stdout, stderr bytes.Buffer
+			err := run(opts, &stdout, &stderr)
+			if err == nil {
+				t.Fatal("run accepted the bad flags")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

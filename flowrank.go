@@ -25,6 +25,12 @@
 //     from the sampled per-flow counts, feeding the adaptive controller
 //     and the streaming monitor's per-bin summaries.
 //
+//   - Ingestion and live monitoring (PacketSource, OpenSource,
+//     PaceSource, NewLoopSource, DaemonConfig/NewDaemon): the unified
+//     packet-source API behind the batch monitor (cmd/flowtop) and the
+//     long-running daemon (cmd/flowrankd) with its Prometheus metrics
+//     and NetFlow v5 export.
+//
 //   - Network-wide coordination (Topology, Allocator, AllocateRates,
 //     NetworkRank): the multi-link generalization — budgeted switches,
 //     routed flows, cSamp-style coordinated hash-range sampling, and
@@ -37,8 +43,12 @@
 package flowrank
 
 import (
+	"context"
+	"io"
+
 	"flowrank/internal/adaptive"
 	"flowrank/internal/core"
+	"flowrank/internal/daemon"
 	"flowrank/internal/dist"
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
@@ -50,6 +60,7 @@ import (
 	"flowrank/internal/sampler"
 	"flowrank/internal/seqest"
 	"flowrank/internal/sim"
+	"flowrank/internal/source"
 	"flowrank/internal/stream"
 	"flowrank/internal/tracegen"
 )
@@ -228,6 +239,13 @@ func GenerateTrace(cfg TraceConfig) ([]FlowRecord, error) { return tracegen.Gene
 
 // StreamPackets expands flow records to a time-ordered packet stream using
 // the paper's uniform placement (§8.1), calling fn for every packet.
+//
+// Deprecated: the callback style predates the PacketSource ingestion API
+// and cannot be composed with its replay decorators (pacing, looping) or
+// consumed by the monitoring daemon. Expand the records once (StreamRank
+// still wires the expansion straight into a streaming engine), or collect
+// them into a slice and wrap it with NewSliceSource to enter the
+// PacketSource world. StreamPackets keeps working; it just stops growing.
 func StreamPackets(records []FlowRecord, seed uint64, fn func(Packet) error) error {
 	return packetgen.Stream(records, seed, fn)
 }
@@ -336,6 +354,20 @@ func NewStreamEngine(cfg StreamConfig, emit func(StreamBin) error) (*StreamEngin
 	return stream.NewEngine(cfg, emit)
 }
 
+// NewStreamEngineContext is NewStreamEngine under a context: canceling
+// ctx aborts the engine — Feed fails with the cancellation cause and the
+// partial final bin is not flushed. A caller that wants the partial bin
+// reported (a daemon draining on SIGTERM) stops feeding and calls Close
+// instead of canceling.
+func NewStreamEngineContext(ctx context.Context, cfg StreamConfig, emit func(StreamBin) error) (*StreamEngine, error) {
+	return stream.NewEngineContext(ctx, cfg, emit)
+}
+
+// ErrStreamClosed is the identity Feed reports on an engine Closed or
+// Aborted without a run error; a run that failed keeps returning its
+// original error instead (test with errors.Is).
+var ErrStreamClosed = stream.ErrClosed
+
 // StreamRank runs a flow-level trace through packet expansion and the
 // streaming monitor in one call: GenerateTrace → StreamPackets → engine.
 func StreamRank(records []FlowRecord, seed uint64, cfg StreamConfig, emit func(StreamBin) error) error {
@@ -349,6 +381,82 @@ func StreamRank(records []FlowRecord, seed uint64, cfg StreamConfig, emit func(S
 	}
 	return eng.Close()
 }
+
+// ---------------------------------------------------------------------------
+// Packet sources and the monitoring daemon (internal/source, internal/daemon)
+
+// PacketSource is the unified ingestion interface: Next fills the packet
+// in place (io.EOF at a clean end), Close releases the source and, from
+// another goroutine, unblocks a pending Next — the graceful-drain path.
+// Trace replay, pcap replay, in-memory slices, the pacing and looping
+// decorators, and live capture (in -tags live builds) all implement it,
+// so the batch monitor and the daemon measure the same stream.
+type PacketSource = source.PacketSource
+
+// The source implementations: native-trace and pcap replay, the
+// in-memory slice, and the pacing/looping replay decorators.
+type (
+	TraceSource = source.TraceSource
+	PcapSource  = source.PcapSource
+	SliceSource = source.Slice
+	PacedSource = source.Paced
+	LoopSource  = source.Loop
+)
+
+// Source error identities: ErrSourceClosed is wrapped by Next after
+// Close; ErrLiveUnsupported by NewLiveSource when the build carries no
+// live capture (no "live" tag, or a non-linux platform).
+var (
+	ErrSourceClosed    = source.ErrClosedSource
+	ErrLiveUnsupported = source.ErrLiveUnsupported
+)
+
+// NewTraceSource replays a native flowrank trace from r; if r is an
+// io.Closer (an *os.File) the source owns and closes it.
+func NewTraceSource(r io.Reader) (*TraceSource, error) { return source.NewTraceSource(r) }
+
+// NewPcapSource replays a pcap capture from r, decoding each frame into
+// a flow key and skipping undecodable frames.
+func NewPcapSource(r io.Reader) (*PcapSource, error) { return source.NewPcapSource(r) }
+
+// OpenSource opens a trace file as a PacketSource (native format, or
+// pcap when isPcap is set); the source owns the file handle.
+func OpenSource(path string, isPcap bool) (PacketSource, error) { return source.Open(path, isPcap) }
+
+// NewSliceSource yields an in-memory packet slice in order.
+func NewSliceSource(pkts []Packet) *SliceSource { return source.NewSlice(pkts) }
+
+// PaceSource throttles src to replay at a multiple of the trace's line
+// rate (1 = real time); it panics unless speed is positive and finite.
+func PaceSource(src PacketSource, speed float64) *PacedSource { return source.Pace(src, speed) }
+
+// NewLoopSource replays a reopenable trace indefinitely, shifting
+// timestamps monotonically with gap idle seconds between cycles.
+func NewLoopSource(open func() (PacketSource, error), gap float64) (*LoopSource, error) {
+	return source.NewLoop(open, gap)
+}
+
+// NewLiveSource captures from a network interface. It requires a build
+// with -tags live on linux; other builds return ErrLiveUnsupported, so
+// the default build stays hermetic.
+func NewLiveSource(iface string, snapLen int) (PacketSource, error) {
+	return source.NewLive(iface, snapLen)
+}
+
+// DaemonConfig configures the long-running monitoring daemon: a
+// PacketSource, the sampling and binning parameters of the streaming
+// engine, the optional inversion and closed-loop adaptation, the HTTP
+// listen address for /metrics and /healthz, and an optional NetFlow v5
+// UDP export target.
+type DaemonConfig = daemon.Config
+
+// MonitorDaemon is a constructed daemon; Run serves until the context is
+// canceled, then drains gracefully — the final partial bin is flushed
+// into the metrics and the export before Run returns.
+type MonitorDaemon = daemon.Daemon
+
+// NewDaemon validates cfg and binds its listeners; Run releases them.
+func NewDaemon(cfg DaemonConfig) (*MonitorDaemon, error) { return daemon.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Metrics

@@ -1,0 +1,362 @@
+// Package daemon is the long-running form of the paper's link monitor:
+// it streams packets from any source.PacketSource through the sharded
+// stream.Engine indefinitely, keeps the §9 closed adaptive loop running
+// bin after bin, and exposes what the monitor is doing — ingest and
+// sample rates, per-bin ranking/detection quality, the inverted
+// flow-size distribution, the live sampling probability — as a
+// Prometheus scrape endpoint, with NetFlow v5 export as a UDP network
+// service.
+//
+// Lifecycle: New validates the configuration and binds the HTTP
+// listener (so callers can pass ":0" and read Addr before scraping);
+// Run serves until the context is canceled or the source ends. On
+// cancellation the daemon drains gracefully — it closes the source to
+// unblock a pending read, waits for the reader, and Closes the engine,
+// which flushes the final partial bin. That is deliberately the engine's
+// Close path, not its context-abort path: a drained daemon reports the
+// measurements it has, while a canceled engine discards them.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"flowrank/internal/adaptive"
+	"flowrank/internal/flow"
+	"flowrank/internal/flowtable"
+	"flowrank/internal/invert"
+	"flowrank/internal/netflow"
+	"flowrank/internal/packet"
+	"flowrank/internal/sampler"
+	"flowrank/internal/source"
+	"flowrank/internal/stream"
+)
+
+// Config describes one daemon. Source, Rate and ListenAddr are required;
+// zero values elsewhere take the monitor defaults noted per field.
+type Config struct {
+	// Source supplies the packets. The daemon owns it: it is Closed
+	// during drain to unblock a pending read, and again on exit.
+	Source source.PacketSource
+	// Agg classifies packets into flows; nil means the 5-tuple.
+	Agg flow.Aggregator
+	// Rate is the initial packet sampling probability, in (0, 1].
+	Rate float64
+	// Seed seeds the Bernoulli sampler.
+	Seed uint64
+	// TopT is the ranked top-list length; 0 means 10.
+	TopT int
+	// BinSeconds is the measurement bin width; 0 means 60.
+	BinSeconds float64
+	// Workers and BatchSize configure the streaming engine (0 = engine
+	// defaults).
+	Workers   int
+	BatchSize int
+	// Tables selects the per-shard flow accounting (zero = exact).
+	Tables flowtable.Spec
+	// Inverter, when set, estimates each bin's original flow-size
+	// distribution; required when AdaptTarget is set.
+	Inverter invert.Estimator
+	// AdaptTarget, when positive, closes the §9 loop: after every bin
+	// the sampling rate is retuned to the cheapest one whose predicted
+	// ranking metric stays at or below this target.
+	AdaptTarget float64
+	// ListenAddr is the HTTP address for /metrics and /healthz
+	// (host:port; ":0" picks a free port, see Daemon.Addr). Required.
+	ListenAddr string
+	// NetFlowAddr, when set, is the UDP host:port every bin's sampled
+	// top list is exported to as NetFlow v5 datagrams.
+	NetFlowAddr string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a constructed monitor, ready to Run.
+type Daemon struct {
+	cfg  Config
+	m    *metricSet
+	bern *sampler.Bernoulli
+	ctl  adaptive.Controller
+	ln   net.Listener
+	nf   net.Conn
+	// nfSeq is the running v5 flow sequence — collectors compute
+	// datagram loss from its deltas, so it spans bins.
+	nfSeq    int
+	draining atomic.Bool
+}
+
+// New validates cfg, binds the HTTP listener and (when configured) the
+// NetFlow UDP socket. A returned Daemon must be Run; Run releases both.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("daemon: Config.Source is required")
+	}
+	if !(cfg.Rate > 0 && cfg.Rate <= 1) {
+		return nil, fmt.Errorf("daemon: sampling rate %g outside (0, 1]", cfg.Rate)
+	}
+	if cfg.AdaptTarget > 0 && cfg.Inverter == nil {
+		return nil, errors.New("daemon: AdaptTarget needs a per-bin inversion to refit against; set Config.Inverter")
+	}
+	if cfg.ListenAddr == "" {
+		return nil, errors.New("daemon: Config.ListenAddr is required")
+	}
+	if cfg.Agg == nil {
+		cfg.Agg = flow.FiveTuple{}
+	}
+	if cfg.TopT == 0 {
+		cfg.TopT = 10
+	}
+	if cfg.BinSeconds == 0 {
+		cfg.BinSeconds = 60
+	}
+	if err := cfg.Tables.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: listen %s: %w", cfg.ListenAddr, err)
+	}
+	d := &Daemon{
+		cfg:  cfg,
+		m:    newMetricSet(),
+		bern: sampler.NewBernoulli(cfg.Rate, cfg.Seed),
+		ctl:  adaptive.Controller{Target: cfg.AdaptTarget, TopT: cfg.TopT, Workers: cfg.Workers},
+		ln:   ln,
+	}
+	if cfg.NetFlowAddr != "" {
+		conn, err := net.Dial("udp", cfg.NetFlowAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("daemon: netflow target %s: %w", cfg.NetFlowAddr, err)
+		}
+		d.nf = conn
+	}
+	return d, nil
+}
+
+// Addr is the bound HTTP address — the scrape target, resolved even when
+// ListenAddr asked for port 0.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// loopResult is what the reader goroutine hands back to Run.
+type loopResult struct {
+	eof bool  // the source ended cleanly
+	err error // fatal: source corruption or an engine/emit failure
+}
+
+// Run serves until ctx is canceled. The source is read on a dedicated
+// goroutine and fed to the streaming engine; /metrics and /healthz are
+// served throughout, including after a finite source hits EOF (the final
+// values stay scrapeable until shutdown). Run returns nil after a clean
+// drain or EOF, or the first fatal error (corrupt source, emit failure,
+// HTTP serve failure).
+func (d *Daemon) Run(ctx context.Context) error {
+	defer d.ln.Close()
+	if d.nf != nil {
+		defer d.nf.Close()
+	}
+	defer d.m.up.Set(0)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", d.m.reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(d.ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
+	d.m.up.Set(1)
+	d.m.samplingRate.Set(d.bern.P)
+
+	// The engine runs under context.Background on purpose: canceling an
+	// engine's context aborts it and discards the partial bin, while a
+	// draining daemon wants that bin flushed. Drain is therefore
+	// stop-feeding-then-Close, driven from here.
+	eng, err := stream.NewEngine(stream.Config{
+		Agg:        d.cfg.Agg,
+		Sampler:    d.bern,
+		BinSeconds: d.cfg.BinSeconds,
+		TopT:       d.cfg.TopT,
+		Workers:    d.cfg.Workers,
+		BatchSize:  d.cfg.BatchSize,
+		Inverter:   d.cfg.Inverter,
+		Tables:     d.cfg.Tables,
+		// onBin copies nothing past emit except value conversions
+		// (NetFlow records, metric scalars), so recycling is safe.
+		Recycle: true,
+	}, d.onBin)
+	if err != nil {
+		return err
+	}
+
+	loopDone := make(chan loopResult, 1)
+	go func() { loopDone <- d.readLoop(eng) }()
+
+	var res loopResult
+	select {
+	case <-ctx.Done():
+		// Graceful drain: unblock a pending Next, wait for the reader,
+		// then flush the partial final bin below.
+		d.draining.Store(true)
+		d.cfg.Source.Close()
+		res = <-loopDone
+	case res = <-loopDone:
+	case err := <-serveErr:
+		d.draining.Store(true)
+		d.cfg.Source.Close()
+		<-loopDone
+		eng.Abort()
+		return fmt.Errorf("daemon: http serve: %w", err)
+	}
+
+	if res.err != nil {
+		// A corrupt source or failed emit must not report the
+		// half-ingested bin as a complete measurement.
+		eng.Abort()
+		return res.err
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	if res.eof {
+		d.m.sourceEOF.Set(1)
+		d.cfg.Logf("source drained; serving metrics until shutdown")
+		// Keep the observability surface up so the final values can be
+		// scraped; only the context ends a daemon.
+		select {
+		case <-ctx.Done():
+		case err := <-serveErr:
+			return fmt.Errorf("daemon: http serve: %w", err)
+		}
+	}
+	return nil
+}
+
+// readLoop feeds the engine until EOF, drain, or a fatal error. It owns
+// every Feed call, so all sampling decisions stay on one goroutine — the
+// engine's determinism contract.
+func (d *Daemon) readLoop(eng *stream.Engine) loopResult {
+	var p packet.Packet
+	for {
+		if err := d.cfg.Source.Next(&p); err != nil {
+			switch {
+			case err == io.EOF:
+				return loopResult{eof: true}
+			case d.draining.Load():
+				return loopResult{} // the daemon closed the source under us
+			default:
+				return loopResult{err: fmt.Errorf("daemon: reading source: %w", err)}
+			}
+		}
+		if err := eng.Feed(p); err != nil {
+			return loopResult{err: err}
+		}
+		d.m.ingested.Inc()
+	}
+}
+
+// onBin is the engine's emit callback — it runs on the goroutine driving
+// the engine (the reader, or Run during the drain flush), so the sampler
+// retune below lands before the next bin's first sampling decision.
+func (d *Daemon) onBin(b stream.BinResult) error {
+	start := time.Now()
+	d.m.bins.Inc()
+	d.m.sampled.Add(float64(b.SampledPackets))
+	d.m.flowsTracked.Set(float64(len(b.Orig) + b.SampledFlows))
+	d.m.binFlows.Set(float64(len(b.Orig)))
+	d.m.binSampledFlows.Set(float64(b.SampledFlows))
+	d.m.rankingPairs.Set(float64(b.Pairs.Ranking))
+	d.m.detectionPairs.Set(float64(b.Pairs.Detection))
+	d.m.rankingFrac.Set(b.Pairs.RankingFrac())
+	d.m.detectionFrac.Set(b.Pairs.DetectionFrac())
+	d.m.countErr.Set(float64(b.CountErr))
+	if inv := b.Inversion; inv != nil && inv.Err == "" {
+		d.m.invMean.Set(inv.Mean)
+		d.m.invTail.Set(inv.TailIndex)
+		d.m.invFlows.Set(inv.FlowCount)
+	}
+	// Export under the rate that produced the bin — the retune below
+	// must not relabel these records' sampling interval.
+	d.exportBin(b)
+	if d.cfg.AdaptTarget > 0 {
+		d.adapt(b)
+	}
+	d.m.binLatency.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// exportBin sends the bin's sampled top list as NetFlow v5 datagrams.
+// Send failures are counted and logged, never fatal: losing an export
+// datagram must not take the monitor down (UDP collectors lose datagrams
+// routinely; that is what the flow sequence is for).
+func (d *Daemon) exportBin(b stream.BinResult) {
+	if d.nf == nil || len(b.SampledTop) == 0 {
+		return
+	}
+	recs := make([]netflow.Record, 0, len(b.SampledTop))
+	for _, e := range b.SampledTop {
+		recs = append(recs, netflow.SaturatingRecord(e))
+	}
+	grams, err := netflow.Export(netflow.Header{
+		SamplingMode:     1,
+		SamplingInterval: netflow.IntervalForRate(d.bern.P),
+		FlowSequence:     uint32(d.nfSeq),
+	}, recs)
+	if err != nil {
+		d.m.nfErrors.Inc()
+		d.cfg.Logf("netflow: bin %d: %v", b.Bin, err)
+		return
+	}
+	for _, g := range grams {
+		if _, err := d.nf.Write(g); err != nil {
+			d.m.nfErrors.Inc()
+			d.cfg.Logf("netflow: bin %d: %v", b.Bin, err)
+			continue
+		}
+		d.m.nfDatagrams.Inc()
+	}
+	d.m.nfRecords.Add(float64(len(recs)))
+	d.nfSeq += len(recs)
+}
+
+// adapt closes the §9 loop: refit the controller to the bin's inversion
+// and retune the live sampling rate. A bin whose inversion failed keeps
+// the current rate — the monitor must not lose its sampling budget to
+// one degenerate bin.
+func (d *Daemon) adapt(b stream.BinResult) {
+	if b.Inversion == nil || b.Inversion.Estimate == nil {
+		reason := "no inversion"
+		if b.Inversion != nil {
+			reason = b.Inversion.Err
+		}
+		d.cfg.Logf("adapt: bin %d: keeping p=%.4g%% (%s)", b.Bin, d.bern.P*100, reason)
+		return
+	}
+	next, _, err := d.ctl.RecommendEstimate(*b.Inversion.Estimate)
+	if err != nil {
+		d.cfg.Logf("adapt: bin %d: %v (keeping p=%.4g%%)", b.Bin, err, d.bern.P*100)
+		return
+	}
+	if next != d.bern.P {
+		d.cfg.Logf("adapt: bin %d: p=%.4g%% -> %.4g%%", b.Bin, d.bern.P*100, next*100)
+		d.bern.P = next
+		d.m.adaptChanges.Inc()
+	}
+	d.m.samplingRate.Set(d.bern.P)
+}

@@ -1,0 +1,66 @@
+package netflow
+
+import (
+	"math"
+
+	"flowrank/internal/flowtable"
+)
+
+// SaturatingRecord converts a flow-table entry to a v5 record. The v5
+// counter and timestamp fields are 32-bit; larger accounted values
+// saturate at the field maximum instead of silently wrapping around (or,
+// for the float timestamp conversions, producing implementation-defined
+// garbage). Shared by every exporter (cmd/flowtop's file export, the
+// flowrankd daemon's UDP export) so the clamping rules stay in one place.
+func SaturatingRecord(e flowtable.Entry) Record {
+	return Record{
+		Key:         e.Key,
+		Packets:     sat32(e.Packets),
+		Octets:      sat32(e.Bytes),
+		FirstMillis: satMillis(e.First),
+		LastMillis:  satMillis(e.Last),
+	}
+}
+
+// IntervalForRate maps a sampling probability to the v5 header's 1-in-N
+// field, clamped to the 14-bit range the format can carry (rates below
+// 1/16383 cannot be represented; exporting the nearest representable
+// interval beats a silent uint16 overflow).
+func IntervalForRate(rate float64) uint16 {
+	if rate <= 0 || rate >= 1 {
+		return 1
+	}
+	n := math.Round(1 / rate)
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxSamplingInterval {
+		n = MaxSamplingInterval
+	}
+	return uint16(n)
+}
+
+// sat32 clamps a count to the uint32 range of the NetFlow v5 fields.
+func sat32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// satMillis converts a second timestamp to the 32-bit millisecond fields,
+// clamping instead of letting an out-of-range float conversion corrupt
+// the export (uint32 overflows after ~49.7 days of trace time).
+func satMillis(seconds float64) uint32 {
+	ms := seconds * 1000
+	if !(ms > 0) { // negative or NaN
+		return 0
+	}
+	if ms >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(ms)
+}

@@ -1,0 +1,271 @@
+// Package promexp is a minimal, dependency-free Prometheus exposition
+// library: counters, gauges and histograms registered on a Registry that
+// renders the text format (version 0.0.4) any Prometheus-compatible
+// scraper ingests. It implements exactly the subset the flowrankd daemon
+// needs — unlabeled metrics, atomic updates, an http.Handler — so the
+// module keeps its standard-library-only constraint while exposing a
+// first-class observability surface.
+//
+// All metric updates are safe for concurrent use and wait-free (atomic
+// CAS on the value bits); rendering takes a registry-level snapshot lock
+// only to walk the metric list, so a scrape never blocks the packet hot
+// path.
+package promexp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE is the Prometheus metric-name grammar.
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// atomicFloat is a float64 updated with CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(d float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// metric is one registered time series family.
+type metric interface {
+	fqName() string
+	render(b *bytes.Buffer)
+}
+
+// Registry holds registered metrics and renders them in registration
+// order. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	ms    []metric
+	names map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+// register panics on an invalid or duplicate name — metric registration
+// is program initialization, and a bad name is a programmer error no
+// caller can meaningfully handle.
+func (r *Registry) register(m metric) {
+	name := m.fqName()
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("promexp: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("promexp: duplicate metric name %q", name))
+	}
+	r.names[name] = struct{}{}
+	r.ms = append(r.ms, m)
+}
+
+// NewCounter registers a monotonically increasing counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// NewHistogram registers a histogram with the given upper bucket bounds
+// (ascending; the +Inf bucket is implicit). It panics on unsorted or
+// empty bounds.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("promexp: histogram %q needs at least one bucket", name))
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("promexp: histogram %q buckets not ascending: %v", name, buckets))
+	}
+	h := &Histogram{name: name, help: help, bounds: append([]float64(nil), buckets...)}
+	h.counts = make([]atomic.Uint64, len(buckets))
+	r.register(h)
+	return h
+}
+
+// WriteTo renders every metric in the Prometheus text format, in
+// registration order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.ms...)
+	r.mu.Unlock()
+	var b bytes.Buffer
+	for _, m := range ms {
+		m.render(&b)
+	}
+	n, err := w.Write(b.Bytes())
+	return int64(n), err
+}
+
+// ContentType is the exposition-format content type scrapers expect.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the rendered registry — the
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteTo(w)
+	})
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func renderHeader(b *bytes.Buffer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	name, help string
+	v          atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter; negative deltas are ignored (a counter
+// never goes down — panicking in a metrics path would take the monitor
+// down over an accounting bug).
+func (c *Counter) Add(d float64) {
+	if d > 0 {
+		c.v.add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+func (c *Counter) fqName() string { return c.name }
+
+func (c *Counter) render(b *bytes.Buffer) {
+	renderHeader(b, c.name, c.help, "counter")
+	fmt.Fprintf(b, "%s %s\n", c.name, formatValue(c.v.load()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+func (g *Gauge) fqName() string { return g.name }
+
+func (g *Gauge) render(b *bytes.Buffer) {
+	renderHeader(b, g.name, g.help, "gauge")
+	fmt.Fprintf(b, "%s %s\n", g.name, formatValue(g.v.load()))
+}
+
+// Histogram counts observations into cumulative buckets, with a running
+// sum — Prometheus's native latency shape.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // per-bucket (non-cumulative) counts
+	inf        atomic.Uint64   // observations above the last bound
+	sum        atomicFloat
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.sum.add(v)
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+		return
+	}
+	h.inf.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.inf.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+func (h *Histogram) fqName() string { return h.name }
+
+func (h *Histogram) render(b *bytes.Buffer) {
+	renderHeader(b, h.name, h.help, "histogram")
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.name, formatValue(bound), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", h.name, formatValue(h.sum.load()))
+	fmt.Fprintf(b, "%s_count %d\n", h.name, cum)
+}

@@ -1,0 +1,188 @@
+package promexp
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestTextFormat pins the exposition format: HELP/TYPE headers, sample
+// lines, registration order.
+func TestTextFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("pkts_total", "Packets seen.")
+	g := r.NewGauge("rate", "Current sampling rate.")
+	c.Add(3)
+	c.Inc()
+	g.Set(0.125)
+	got := render(t, r)
+	want := "# HELP pkts_total Packets seen.\n" +
+		"# TYPE pkts_total counter\n" +
+		"pkts_total 4\n" +
+		"# HELP rate Current sampling rate.\n" +
+		"# TYPE rate gauge\n" +
+		"rate 0.125\n"
+	if got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCounterMonotonic: negative Add is dropped, never decreases.
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %g after negative add, want 5", c.Value())
+	}
+}
+
+// TestGauge covers Set/Add and special values.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g", "")
+	g.Set(2)
+	g.Add(-0.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !strings.Contains(render(t, r), "g +Inf\n") {
+		t.Errorf("infinity not rendered as +Inf:\n%s", render(t, r))
+	}
+}
+
+// TestHistogram pins cumulative buckets, sum and count.
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-12 {
+		t.Errorf("sum = %g, want 5.605", h.Sum())
+	}
+	got := render(t, r)
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 5.605`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+// TestHistogramBoundary: an observation equal to a bound lands in that
+// bound's bucket (le is inclusive).
+func TestHistogramBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1, 2})
+	h.Observe(1)
+	got := render(t, r)
+	if !strings.Contains(got, `h_bucket{le="1"} 1`) {
+		t.Errorf("observation at the bound missed its bucket:\n%s", got)
+	}
+}
+
+// TestRegistrationValidation: bad names, duplicates, and bad buckets
+// panic at registration time.
+func TestRegistrationValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("ok_total", "")
+	mustPanic("duplicate name", func() { r.NewGauge("ok_total", "") })
+	mustPanic("invalid name", func() { r.NewCounter("0bad", "") })
+	mustPanic("invalid chars", func() { r.NewCounter("a-b", "") })
+	mustPanic("empty histogram", func() { r.NewHistogram("h", "", nil) })
+	mustPanic("unsorted buckets", func() { r.NewHistogram("h2", "", []float64{2, 1}) })
+}
+
+// TestHelpEscaping: newlines and backslashes in help must be escaped.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "line one\nline \\two")
+	got := render(t, r)
+	if !strings.Contains(got, `# HELP c_total line one\nline \\two`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+}
+
+// TestHandler serves the rendered registry with the exposition content
+// type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "x").Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q, want %q", ct, ContentType)
+	}
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c_total 7\n") {
+		t.Errorf("body:\n%s", b.String())
+	}
+}
+
+// TestConcurrentUpdates: racing increments must all land (run under
+// -race in CI).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	h := r.NewHistogram("h", "", []float64{0.5})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %g, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

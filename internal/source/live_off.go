@@ -1,0 +1,13 @@
+//go:build !live
+
+package source
+
+import "fmt"
+
+// NewLive opens a live capture on the named interface. In the default
+// (hermetic) build it always fails with an error wrapping
+// ErrLiveUnsupported; build with -tags live on linux for the AF_PACKET
+// implementation.
+func NewLive(iface string, snapLen int) (PacketSource, error) {
+	return nil, fmt.Errorf("%w: not compiled in (rebuild with -tags live on linux)", ErrLiveUnsupported)
+}

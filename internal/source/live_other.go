@@ -1,0 +1,11 @@
+//go:build live && !linux
+
+package source
+
+import "fmt"
+
+// NewLive fails on non-linux platforms even with the live build tag: the
+// capture path is AF_PACKET, which only linux provides.
+func NewLive(iface string, snapLen int) (PacketSource, error) {
+	return nil, fmt.Errorf("%w: only implemented on linux (AF_PACKET)", ErrLiveUnsupported)
+}

@@ -1,0 +1,194 @@
+package source
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"flowrank/internal/packet"
+)
+
+// Paced throttles a source to replay at a multiple of the trace's own
+// line rate: packet timestamps are mapped onto the wall clock so that a
+// packet carrying trace time t is delivered no earlier than
+// start + (t - t0)/speed. Speed 1 replays at line rate, 2 at double
+// speed, 0.5 at half. Sources that are already real-time (live capture)
+// need no pacing.
+type Paced struct {
+	src   PacketSource
+	speed float64
+
+	// now and sleep are the clock; tests substitute them. A nil sleep
+	// (the default) waits on a timer that Close interrupts, so a daemon
+	// draining a slow-paced replay is not held for the inter-packet gap.
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	done chan struct{}
+	once sync.Once
+
+	started bool
+	start   time.Time
+	base    float64
+}
+
+// Pace wraps src with line-rate pacing at the given speed multiplier.
+// It panics if speed is not positive and finite — an unpaced replay is
+// expressed by not wrapping, not by a magic speed value.
+func Pace(src PacketSource, speed float64) *Paced {
+	if !(speed > 0) || math.IsInf(speed, 0) {
+		panic(fmt.Sprintf("source: pace speed %g must be positive and finite", speed))
+	}
+	return &Paced{src: src, speed: speed, now: time.Now, done: make(chan struct{})}
+}
+
+// Next reads the next packet from the wrapped source, sleeping until its
+// scheduled wall-clock delivery time. The first packet anchors the
+// schedule and is delivered immediately.
+func (p *Paced) Next(pk *packet.Packet) error {
+	if err := p.src.Next(pk); err != nil {
+		return err
+	}
+	if !p.started {
+		p.started = true
+		p.start = p.now()
+		p.base = pk.Time
+		return nil
+	}
+	target := p.start.Add(time.Duration((pk.Time - p.base) / p.speed * float64(time.Second)))
+	if d := target.Sub(p.now()); d > 0 {
+		return p.wait(d)
+	}
+	return nil
+}
+
+// wait blocks for d unless Close interrupts it first.
+func (p *Paced) wait(d time.Duration) error {
+	if p.sleep != nil { // deterministic test clock
+		p.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-p.done:
+		return fmt.Errorf("source: paced wait interrupted: %w", ErrClosedSource)
+	}
+}
+
+// Close closes the wrapped source and wakes a Next sleeping toward its
+// delivery time.
+func (p *Paced) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return p.src.Close()
+}
+
+// Loop replays a reopenable source indefinitely: every time the inner
+// source reaches EOF it is closed and reopened, and the next cycle's
+// timestamps are shifted past the last emitted one so the stream stays
+// non-decreasing — a finite trace becomes an endless daemon workload.
+type Loop struct {
+	open func() (PacketSource, error)
+	gap  float64
+
+	// mu guards cur and closed against the one legal cross-goroutine
+	// call, Close during a blocked Next; the replay state (offset, last,
+	// n) belongs to the single reader.
+	mu     sync.Mutex
+	cur    PacketSource
+	closed bool
+
+	offset float64
+	last   float64
+	n      int64
+}
+
+// NewLoop returns a looping source. open must return a fresh source over
+// the same trace each call; gap is the quiet time inserted between the
+// end of one cycle and the start of the next (it must be non-negative —
+// use the trace's typical inter-packet spacing, or 0 for back-to-back).
+func NewLoop(open func() (PacketSource, error), gap float64) (*Loop, error) {
+	if !(gap >= 0) || math.IsInf(gap, 0) {
+		return nil, fmt.Errorf("source: loop gap %g must be non-negative and finite", gap)
+	}
+	return &Loop{open: open, gap: gap}, nil
+}
+
+// acquire returns the current inner source, opening a fresh one at a
+// cycle boundary, or fails if the loop was closed.
+func (l *Loop) acquire() (PacketSource, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("source: loop read after close: %w", ErrClosedSource)
+	}
+	if l.cur == nil {
+		src, err := l.open()
+		if err != nil {
+			return nil, err
+		}
+		l.cur = src
+	}
+	return l.cur, nil
+}
+
+// retire closes the inner source that just hit EOF (unless Close already
+// did) so the next acquire starts a fresh cycle.
+func (l *Loop) retire(src PacketSource) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == src {
+		src.Close()
+		l.cur = nil
+	}
+}
+
+// Next yields the next packet, restarting the trace at EOF. An empty
+// cycle (a trace with no packets) returns EOF instead of spinning.
+func (l *Loop) Next(p *packet.Packet) error {
+	for {
+		cur, err := l.acquire()
+		if err != nil {
+			return err
+		}
+		err = cur.Next(p)
+		if err == nil {
+			p.Time += l.offset
+			if p.Time < l.last {
+				// A cycle must not rewind time; this only happens when the
+				// underlying trace itself is out of order.
+				return fmt.Errorf("source: loop time went backwards (%g < %g)", p.Time, l.last)
+			}
+			l.last = p.Time
+			l.n++
+			return nil
+		}
+		if err != io.EOF {
+			return err
+		}
+		if l.n == 0 {
+			return io.EOF
+		}
+		l.retire(cur)
+		l.offset = l.last + l.gap
+		l.n = 0
+	}
+}
+
+// Close closes the current inner source — unblocking a pending Next —
+// and stops the loop.
+func (l *Loop) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.cur != nil {
+		err := l.cur.Close()
+		l.cur = nil
+		return err
+	}
+	return nil
+}

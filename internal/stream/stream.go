@@ -25,6 +25,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -214,6 +215,8 @@ func (s *shard) loop(wg *sync.WaitGroup, free chan []item) {
 type Engine struct {
 	cfg        Config
 	emit       func(BinResult) error
+	ctx        context.Context
+	done       <-chan struct{} // ctx.Done(), nil for Background
 	shards     []*shard
 	pending    [][]item // reader-side per-shard batches (nil when inline)
 	free       chan []item
@@ -231,7 +234,12 @@ type Engine struct {
 	mergedSamp map[flow.Key]int64
 }
 
-var errClosed = errors.New("stream: engine already closed")
+// ErrClosed is returned (wrapped) by Feed on an engine that was Closed or
+// Aborted without a run error. When the run failed — an emit error, a
+// context cancellation — Feed and Close keep returning that original
+// error instead, so errors.Is against the first failure stays true for
+// the lifetime of the engine and is never shadowed by ErrClosed.
+var ErrClosed = errors.New("stream: engine already closed")
 
 // clampBin is the far-future bin index: beyond 2^53 bins the float
 // quotient no longer identifies an exact integer, so every later
@@ -242,6 +250,21 @@ const clampBin int64 = 1 << 53
 // returns an engine ready for Feed. Every engine must be Closed, even
 // after an error, to release its workers.
 func NewEngine(cfg Config, emit func(BinResult) error) (*Engine, error) {
+	return NewEngineContext(context.Background(), cfg, emit)
+}
+
+// NewEngineContext is NewEngine under a context: when ctx is canceled the
+// engine aborts — Feed starts failing with an error carrying the
+// cancellation cause (errors.Is context.Canceled / DeadlineExceeded), the
+// workers are released, and the partial final bin is NOT flushed, exactly
+// like Abort. A mid-stream cancellation means the run's measurements are
+// incomplete and must not be reported; a caller that instead wants the
+// partial bin emitted (a daemon draining on SIGTERM) stops feeding and
+// calls Close itself rather than canceling the engine's context.
+func NewEngineContext(ctx context.Context, cfg Config, emit func(BinResult) error) (*Engine, error) {
+	if ctx == nil {
+		return nil, errors.New("stream: nil context")
+	}
 	if cfg.Agg == nil {
 		return nil, errors.New("stream: Config.Agg is required")
 	}
@@ -272,7 +295,7 @@ func NewEngine(cfg Config, emit func(BinResult) error) (*Engine, error) {
 	if err := cfg.Tables.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, emit: emit}
+	e := &Engine{cfg: cfg, emit: emit, ctx: ctx, done: ctx.Done()}
 	e.shards = make([]*shard, cfg.Workers)
 	for i := range e.shards {
 		orig, err := cfg.Tables.New(cfg.Agg)
@@ -311,7 +334,15 @@ func (e *Engine) Feed(p packet.Packet) error {
 		return e.err
 	}
 	if e.closed {
-		return errClosed
+		return ErrClosed
+	}
+	if e.done != nil {
+		select {
+		case <-e.done:
+			e.cancel()
+			return e.err
+		default:
+		}
 	}
 	// The far-future bin is a clamp (see targetBin): once in it, later
 	// packets accumulate there rather than re-triggering the boundary,
@@ -339,10 +370,21 @@ func (e *Engine) Feed(p packet.Packet) error {
 }
 
 // Close flushes the final bin, stops the workers and returns the first
-// error the run hit (if any). It is idempotent.
+// error the run hit (if any). It is idempotent: closing again — or
+// closing after Abort or a run failure — returns the original run error,
+// never a new one. If the engine's context was canceled, Close aborts
+// instead of flushing and returns the cancellation error.
 func (e *Engine) Close() error {
 	if e.closed {
 		return e.err
+	}
+	if e.done != nil {
+		select {
+		case <-e.done:
+			e.cancel()
+			return e.err
+		default:
+		}
 	}
 	e.closed = true
 	if e.err == nil {
@@ -352,10 +394,20 @@ func (e *Engine) Close() error {
 	return e.err
 }
 
+// cancel records the context's cancellation cause as the run error and
+// aborts without flushing the partial bin — context cancellation is
+// Abort with an error identity callers can test with errors.Is.
+func (e *Engine) cancel() {
+	e.closed = true
+	e.fail(fmt.Errorf("stream: engine canceled: %w", context.Cause(e.ctx)))
+}
+
 // Abort releases the engine's workers without flushing the partial final
 // bin — for callers failing mid-stream whose partial measurements must
-// not be reported. After Abort, Feed returns an error and Close is a
-// no-op returning the run's error, if any.
+// not be reported. After Abort, Feed returns ErrClosed (or the run's
+// earlier error, if any) and Close is a no-op returning the run's error.
+// Canceling the context passed to NewEngineContext has the same effect,
+// with the cancellation cause as the run error.
 func (e *Engine) Abort() {
 	e.closed = true
 	e.shutdown()
