@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet fmt check race bench bench-smoke e2e e2e-daemon fuzz-smoke cover
+.PHONY: all build test short vet fmt check race bench bench-smoke e2e e2e-daemon fuzz-smoke cover lint
 
 all: check
 
@@ -21,7 +21,8 @@ short:
 vet:
 	$(GO) vet ./...
 
-# Fails when any file is not gofmt-clean.
+# Fails when any file is not gofmt-clean (covers the root module and the
+# tools/flowrank-lint module; gofmt -l walks both from the repo root).
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -29,6 +30,16 @@ fmt:
 	fi
 
 check: vet fmt build test
+
+# Static analysis: build the flowrank-lint multichecker (its own module
+# under tools/, stdlib-only), run its analyzer test suites, then run all
+# five analyzers (maporder, wallclock, hotpath, errsentinel, facadedoc)
+# over every package of the root module. Zero findings is the contract;
+# deliberate exemptions carry //flowrank: directives.
+lint:
+	cd tools/flowrank-lint && $(GO) test ./...
+	cd tools/flowrank-lint && $(GO) build -o flowrank-lint .
+	./tools/flowrank-lint/flowrank-lint ./...
 
 # Race detector over the short suite: the misranking-table worker pool
 # and the parallel outer quadrature are the concurrency hot spots.

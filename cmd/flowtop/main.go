@@ -179,7 +179,7 @@ func run(opts options, stdout, stderr io.Writer) error {
 	var p packet.Packet
 	for {
 		if err := src.Next(&p); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			// A corrupt trace must not report the half-ingested bin as if

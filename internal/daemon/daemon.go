@@ -256,7 +256,7 @@ func (d *Daemon) readLoop(eng *stream.Engine) loopResult {
 	for {
 		if err := d.cfg.Source.Next(&p); err != nil {
 			switch {
-			case err == io.EOF:
+			case errors.Is(err, io.EOF):
 				return loopResult{eof: true}
 			case d.draining.Load():
 				return loopResult{} // the daemon closed the source under us

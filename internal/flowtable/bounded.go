@@ -34,8 +34,17 @@ type boundedSnapshot struct {
 
 type boundedHeap []boundedSnapshot
 
-func (h boundedHeap) Len() int            { return len(h) }
-func (h boundedHeap) Less(i, j int) bool  { return h[i].packets < h[j].packets }
+func (h boundedHeap) Len() int { return len(h) }
+
+// Less orders snapshots by packet count with the canonical key order as a
+// tiebreak, so eviction among equal-count flows does not depend on the map
+// iteration order that fed the heap.
+func (h boundedHeap) Less(i, j int) bool {
+	if h[i].packets != h[j].packets {
+		return h[i].packets < h[j].packets
+	}
+	return keyLess(h[i].key, h[j].key)
+}
 func (h boundedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *boundedHeap) Push(x interface{}) { *h = append(*h, x.(boundedSnapshot)) }
 func (h *boundedHeap) Pop() interface{} {
@@ -104,6 +113,7 @@ func (b *Bounded) evictSmallest() {
 
 func (b *Bounded) rebuildHeap() {
 	b.h = b.h[:0]
+	//flowrank:unordered heap.Init restores heap order and Less is a total order (key tiebreak)
 	for k, e := range b.entries {
 		b.h = append(b.h, boundedSnapshot{key: k, packets: e.Packets})
 	}

@@ -80,11 +80,15 @@ func cmMix(h uint64) uint64 {
 }
 
 // Add accounts one packet.
+//
+//flowrank:hotpath
 func (c *CountMin) Add(p packet.Packet) {
 	c.AddAggregated(c.agg.Aggregate(p.Key), p.Time, int64(p.Size))
 }
 
 // AddAggregated accounts one packet whose key is already aggregated.
+//
+//flowrank:hotpath
 func (c *CountMin) AddAggregated(key flow.Key, time float64, size int64) {
 	c.packets++
 	c.bytesT += size
@@ -125,6 +129,8 @@ func (c *CountMin) AddAggregated(key flow.Key, time float64, size int64) {
 
 // bump increments the key's counter in every row and returns the new
 // min-over-rows estimate.
+//
+//flowrank:hotpath
 func (c *CountMin) bump(key flow.Key) int64 {
 	h := key.FastHash()
 	mask := c.width - 1

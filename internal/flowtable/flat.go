@@ -79,12 +79,16 @@ func flatTag(h uint64) uint8 {
 }
 
 // Add accounts one packet.
+//
+//flowrank:hotpath
 func (f *Flat) Add(p packet.Packet) {
 	f.AddAggregated(f.agg.Aggregate(p.Key), p.Time, int64(p.Size))
 }
 
 // AddAggregated accounts one packet whose flow key has already been
 // aggregated — the shard-worker entry point of the streaming engine.
+//
+//flowrank:hotpath
 func (f *Flat) AddAggregated(key flow.Key, time float64, size int64) {
 	e, isNew := f.findOrClaim(key)
 	if isNew {
@@ -99,6 +103,8 @@ func (f *Flat) AddAggregated(key flow.Key, time float64, size int64) {
 
 // AddCount accounts an aggregate observation of pkts packets and
 // byteCount bytes for the (already aggregated) key.
+//
+//flowrank:hotpath
 func (f *Flat) AddCount(key flow.Key, pkts, byteCount int64) {
 	if pkts <= 0 {
 		return
@@ -116,6 +122,8 @@ func (f *Flat) AddCount(key flow.Key, pkts, byteCount int64) {
 // findOrClaim probes for key, claiming (and marking) a fresh slot when
 // absent. The returned entry is stale garbage when isNew — the caller
 // overwrites it.
+//
+//flowrank:hotpath
 func (f *Flat) findOrClaim(key flow.Key) (e *Entry, isNew bool) {
 	h := key.FastHash()
 	tag := flatTag(h)

@@ -53,11 +53,15 @@ func NewSpaceSaving(agg flow.Aggregator, k int) *SpaceSaving {
 }
 
 // Add accounts one packet.
+//
+//flowrank:hotpath
 func (s *SpaceSaving) Add(p packet.Packet) {
 	s.AddAggregated(s.agg.Aggregate(p.Key), p.Time, int64(p.Size))
 }
 
 // AddAggregated accounts one packet whose key is already aggregated.
+//
+//flowrank:hotpath
 func (s *SpaceSaving) AddAggregated(key flow.Key, time float64, size int64) {
 	s.packets++
 	s.bytesT += size
@@ -93,6 +97,8 @@ func (s *SpaceSaving) AddAggregated(key flow.Key, time float64, size int64) {
 }
 
 // siftUp restores the heap above index i.
+//
+//flowrank:hotpath
 func (s *SpaceSaving) siftUp(i int32) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -105,6 +111,8 @@ func (s *SpaceSaving) siftUp(i int32) {
 }
 
 // siftDown restores the heap below index i.
+//
+//flowrank:hotpath
 func (s *SpaceSaving) siftDown(i int32) {
 	n := int32(len(s.h))
 	for {

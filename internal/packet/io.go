@@ -114,7 +114,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (r *Reader) Next() (Packet, error) {
 	deltaRaw, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return Packet{}, io.EOF
 		}
 		return Packet{}, fmt.Errorf("packet: reading timestamp: %w", err)
@@ -134,7 +134,7 @@ func (r *Reader) Next() (Packet, error) {
 // truncated converts a bare EOF in mid-record into ErrUnexpectedEOF so
 // callers can distinguish clean end-of-trace from corruption.
 func truncated(err error) error {
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return io.ErrUnexpectedEOF
 	}
 	return err
@@ -202,7 +202,7 @@ func NewFlowReader(r io.Reader) (*FlowReader, error) {
 func (r *FlowReader) Next() (flow.Record, error) {
 	deltaRaw, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return flow.Record{}, io.EOF
 		}
 		return flow.Record{}, fmt.Errorf("packet: reading flow start: %w", err)

@@ -171,7 +171,7 @@ func (r *Reader) Header() Header { return r.header }
 func (r *Reader) Next() (Packet, error) {
 	var hdr [packetHeaderLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return Packet{}, io.EOF
 		}
 		return Packet{}, fmt.Errorf("pcap: reading packet header: %w", err)
@@ -191,7 +191,7 @@ func (r *Reader) Next() (Packet, error) {
 	}
 	r.buf = r.buf[:inclLen]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
 		return Packet{}, fmt.Errorf("pcap: reading packet data: %w", err)

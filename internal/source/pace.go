@@ -1,6 +1,7 @@
 package source
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -167,7 +168,7 @@ func (l *Loop) Next(p *packet.Packet) error {
 			l.n++
 			return nil
 		}
-		if err != io.EOF {
+		if !errors.Is(err, io.EOF) {
 			return err
 		}
 		if l.n == 0 {

@@ -57,6 +57,7 @@ func summarizeInversion(est invert.Estimator, sampled map[flow.Key]int64, rate f
 		return s
 	}
 	counts := make([]float64, 0, len(sampled))
+	//flowrank:unordered estimators canonicalize the count multiset before use
 	for _, c := range sampled {
 		counts = append(counts, float64(c))
 	}

@@ -151,6 +151,9 @@ type shard struct {
 	sampBuf map[flow.Key]int64
 }
 
+// add routes one sampled-decision item into the shard tables.
+//
+//flowrank:hotpath
 func (s *shard) add(it item) {
 	s.orig.AddAggregated(it.key, it.time, it.size)
 	if it.sampled {
@@ -190,6 +193,9 @@ func (s *shard) summarize() shardSummary {
 	return sum
 }
 
+// loop is the shard worker: drain batches, summarize on flush.
+//
+//flowrank:hotpath
 func (s *shard) loop(wg *sync.WaitGroup, free chan []item) {
 	defer wg.Done()
 	for msg := range s.in {

@@ -1,0 +1,3 @@
+module flowrank-lint
+
+go 1.24

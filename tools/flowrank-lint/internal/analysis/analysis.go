@@ -1,0 +1,67 @@
+// Package analysis is a minimal, stdlib-only analogue of
+// golang.org/x/tools/go/analysis: an Analyzer is a named check with a Run
+// function over a type-checked package, and a Pass carries that package's
+// syntax, types and a Report sink. The container this repo builds in has
+// no module proxy access, so instead of depending on x/tools the lint
+// suite carries this small framework; the analyzer surface (Name, Doc,
+// Run(*Pass), Pass.Reportf, `// want` testdata harnesses) mirrors the
+// upstream API closely enough that porting to the real multichecker is a
+// mechanical change.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass is the unit of work handed to an Analyzer: one type-checked
+// package plus a diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's compiled (non-test) syntax trees, with
+	// comments.
+	Files []*ast.File
+	// TestFiles holds the parsed — but not type-checked — _test.go files
+	// found in the package directory, including external (_test package)
+	// files. Analyzers that enforce test-reference contracts (facadedoc)
+	// scan these syntactically.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic; set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// ObjectOf returns the types.Object denoted by ident, whether it is a use
+// or a definition.
+func (p *Pass) ObjectOf(ident *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[ident]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[ident]
+}

@@ -1,0 +1,201 @@
+// Package analysistest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a package from a
+// testdata/src/<name> directory, type-checks it (imports resolve against
+// the toolchain's export data, so testdata may import any stdlib
+// package), runs one analyzer over it, and compares the diagnostics
+// against `// want "regexp"` expectations embedded in the source.
+//
+// Expectation syntax, per offending line:
+//
+//	x := f() // want "message regexp"
+//	y := g() // want "first" "second"
+//
+// Each double- or back-quoted string is a regexp that must match the
+// message of exactly one diagnostic reported on that line; diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test. A want clause may also trail another
+// comment (such as a //flowrank: directive) on the same line.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flowrank-lint/internal/analysis"
+	"flowrank-lint/internal/load"
+)
+
+// expectation is one want clause entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, and checks the diagnostics against the want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		runPackage(t, filepath.Join(testdata, "src", name), name, a)
+	}
+}
+
+func runPackage(t *testing.T, dir, name string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	var files, testFiles []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles = append(testFiles, f)
+			continue
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: bad import in %s: %v", a.Name, e.Name(), err)
+			}
+			imports[path] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", a.Name, dir)
+	}
+
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
+	exports, err := load.StdExports(importList)
+	if err != nil {
+		t.Fatalf("%s: resolving testdata imports: %v", a.Name, err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: load.ExportImporter(fset, exports)}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: type-checking %s: %v", a.Name, dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		TestFiles: testFiles,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, append(append([]*ast.File{}, files...), testFiles...))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", a.Name, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// regexp matches msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every want clause from the files' comments. The
+// clause may start the comment or trail other comment text; its position
+// is the line the comment starts on.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parseWants(text[idx+len("// want "):])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want clause: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWants reads a sequence of Go-quoted strings.
+func parseWants(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		quoted, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		unquoted, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unquoted)
+		s = s[len(quoted):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want clause with no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package errsentinel enforces the error contract: sentinel errors
+// (package-level `var ErrX = errors.New(...)`, io.EOF and friends) must
+// be matched with errors.Is, never ==/!=, and wrapped with %w, never %v.
+// Every failure path in this repository wraps its sentinels
+// (`fmt.Errorf("...: %w", ErrClosed)`), so a == comparison anywhere up
+// the stack is latently broken — it works until someone adds context to
+// the error, which is exactly the bug class errors.Is exists to prevent.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flowrank-lint/internal/analysis"
+	"flowrank-lint/internal/astutil"
+)
+
+// Analyzer is the errsentinel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "flag ==/!= comparisons against error sentinels (use errors.Is) and fmt.Errorf " +
+		"calls that wrap a sentinel without %w",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags err ==/!= Sentinel.
+func checkComparison(pass *analysis.Pass, n *ast.BinaryExpr) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+		sentinel, other := pair[0], pair[1]
+		obj := sentinelObj(pass, sentinel)
+		if obj == nil {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[other]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(n.Pos(), "comparison with error sentinel %s using %s; use errors.Is (sentinels may arrive wrapped)", obj.Name(), n.Op)
+		return
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls whose sentinel argument is not
+// matched by a %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := astutil.PkgFunc(pass.TypesInfo, call.Fun, "fmt"); !ok || name != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		obj := sentinelObj(pass, arg)
+		if obj == nil {
+			continue
+		}
+		if verbs == nil {
+			// Unparseable format (explicit argument indexes): fall back to
+			// a whole-format check.
+			if !strings.Contains(format, "%w") {
+				pass.Reportf(arg.Pos(), "error sentinel %s formatted without %%w; errors.Is cannot match the result", obj.Name())
+			}
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "error sentinel %s formatted with %%%c; use %%w so errors.Is can match the result", obj.Name(), verbAt(verbs, i))
+		}
+	}
+}
+
+// verbAt is verbs[i] or 'v' when the argument has no verb at all.
+func verbAt(verbs []rune, i int) rune {
+	if i < len(verbs) {
+		return verbs[i]
+	}
+	return 'v'
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument, or nil when the format uses explicit argument indexes.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		// flags, width, precision; '*' consumes an argument of its own.
+		for i < len(rs) {
+			r := rs[i]
+			if r == '[' {
+				return nil // explicit argument index: give up
+			}
+			if r == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", r) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(rs) {
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs
+}
+
+// sentinelObj resolves expr to a package-level error sentinel variable:
+// a var of error-compatible type named Err*/err* or EOF.
+func sentinelObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	name := obj.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") && name != "EOF" {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.AssignableTo(obj.Type(), errType) {
+		return nil
+	}
+	return obj
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"flowrank-lint/internal/analysistest"
+	"flowrank-lint/internal/analyzers/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "sentinel")
+}

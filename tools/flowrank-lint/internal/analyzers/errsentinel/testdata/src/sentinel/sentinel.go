@@ -1,0 +1,65 @@
+// Package sentinel is errsentinel testdata: sentinel errors must be
+// matched with errors.Is and wrapped with %w.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrClosed is the package's own sentinel.
+var ErrClosed = errors.New("sentinel: closed")
+
+// errInternal is an unexported sentinel; the rules apply equally.
+var errInternal = errors.New("sentinel: internal")
+
+func compare(err error) bool {
+	if err == ErrClosed { // want `comparison with error sentinel ErrClosed using ==; use errors.Is`
+		return true
+	}
+	if err != io.EOF { // want `comparison with error sentinel EOF using !=; use errors.Is`
+		return false
+	}
+	if ErrClosed == err { // want `comparison with error sentinel ErrClosed using ==`
+		return true
+	}
+	if err == errInternal { // want `comparison with error sentinel errInternal using ==`
+		return true
+	}
+	return errors.Is(err, ErrClosed) // errors.Is: no finding
+}
+
+func compareSwitch(err error) int {
+	switch {
+	case err == nil: // nil comparison: no finding
+		return 0
+	case err == io.EOF: // want `comparison with error sentinel EOF using ==`
+		return 1
+	}
+	return 2
+}
+
+func wrapV() error {
+	return fmt.Errorf("reading header: %v", ErrClosed) // want `error sentinel ErrClosed formatted with %v; use %w`
+}
+
+func wrapS() error {
+	return fmt.Errorf("reading header: %s", io.EOF) // want `error sentinel EOF formatted with %s; use %w`
+}
+
+func wrapW() error {
+	return fmt.Errorf("reading header: %w", ErrClosed) // %w: no finding
+}
+
+func wrapMixed(n int) error {
+	return fmt.Errorf("%d bytes short: %v", n, io.EOF) // want `error sentinel EOF formatted with %v`
+}
+
+func wrapStar(w int) error {
+	return fmt.Errorf("%*d: %v", w, 7, ErrClosed) // want `error sentinel ErrClosed formatted with %v`
+}
+
+func wrapNonSentinel(err error) error {
+	return fmt.Errorf("run: %v", err) // plain error variable: no finding (sentinels only)
+}

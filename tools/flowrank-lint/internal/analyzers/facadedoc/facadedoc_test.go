@@ -1,0 +1,12 @@
+package facadedoc_test
+
+import (
+	"testing"
+
+	"flowrank-lint/internal/analysistest"
+	"flowrank-lint/internal/analyzers/facadedoc"
+)
+
+func TestFacadeDoc(t *testing.T) {
+	analysistest.Run(t, "testdata", facadedoc.Analyzer, "flowrank")
+}

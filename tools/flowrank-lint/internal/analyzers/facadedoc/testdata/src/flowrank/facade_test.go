@@ -1,0 +1,13 @@
+package flowrank
+
+// use references the facade surface the way the real conformance tests
+// do; Unreferenced and Both are deliberately left out.
+func use() {
+	Documented()
+	Undocumented()
+	unexported()
+	var k Kind = KindA
+	_ = KindB
+	k.Method()
+	_, _ = ErrA, ErrB
+}

@@ -1,0 +1,296 @@
+// Package hotpath enforces the 0 allocs/packet contract on functions
+// annotated `//flowrank:hotpath` (the Flat/SpaceSaving/CountMin Add
+// paths and the shard ingest loop). Inside an annotated function it
+// flags every construct that can allocate on the per-packet path:
+//
+//   - map, slice and function literals, &composite{} and make/new calls;
+//   - append to anything but a pre-sized slice rooted at a parameter or
+//     receiver (self-append form `x = append(x, ...)`);
+//   - any fmt call (the ...any parameters box their arguments);
+//   - closures that capture local variables by reference;
+//   - implicit or explicit interface conversions of non-pointer values
+//     (arguments, assignments, returns) — boxing allocates.
+//
+// The runtime side of the same contract is TestHotPathAllocFree
+// (testing.AllocsPerRun == 0); the analyzer makes the contract visible
+// at build time and on paths a benchmark happens not to execute. It also
+// owns hygiene for the `hotpath` directive: a malformed annotation or
+// one not attached to a function declaration is an error everywhere.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flowrank-lint/internal/analysis"
+	"flowrank-lint/internal/astutil"
+	"flowrank-lint/internal/directive"
+)
+
+// Analyzer is the hotpath check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flag allocating constructs (literals, make/new, non-parameter append, fmt, capturing " +
+		"closures, interface boxing) inside functions annotated //flowrank:hotpath",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ds, errs := directive.CollectFile(f)
+		for _, e := range errs {
+			if e.Verb == "hotpath" {
+				pass.Reportf(e.Pos, "%s", e.Msg)
+			}
+		}
+
+		// Directives attached to function declarations enable the check;
+		// any other placement is annotation drift and is reported.
+		attached := map[token.Pos]bool{}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if d, ok := directive.FromDoc(fn.Doc, "hotpath"); ok {
+				attached[d.Pos] = true
+				checkFunc(pass, fn)
+			}
+		}
+		for _, d := range ds {
+			if d.Verb == "hotpath" && !attached[d.Pos] {
+				pass.Reportf(d.Pos, "misplaced //flowrank:hotpath directive: must be part of a function declaration's doc comment")
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one annotated function body.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	params := paramObjects(pass, fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path allocates: map literal")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path allocates: slice literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path allocates: &composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesLocals(pass, n) {
+				pass.Reportf(n.Pos(), "hot path allocates: closure captures local variables")
+			}
+			return false // do not descend: the closure body runs elsewhere
+		case *ast.CallExpr:
+			checkCall(pass, params, n)
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, fn, n)
+		}
+		return true
+	})
+}
+
+// paramObjects collects the function's parameter, result and receiver
+// objects: the only roots a hot-path append may grow.
+func paramObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	addField := func(field *ast.Field) {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			addField(field)
+		}
+	}
+	for _, field := range fn.Type.Params.List {
+		addField(field)
+	}
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			addField(field)
+		}
+	}
+	return params
+}
+
+// checkCall flags allocating calls and boxing arguments.
+func checkCall(pass *analysis.Pass, params map[types.Object]bool, call *ast.CallExpr) {
+	switch {
+	case astutil.IsBuiltin(pass.TypesInfo, call, "make"):
+		pass.Reportf(call.Pos(), "hot path allocates: make")
+		return
+	case astutil.IsBuiltin(pass.TypesInfo, call, "new"):
+		pass.Reportf(call.Pos(), "hot path allocates: new")
+		return
+	case astutil.IsAppend(pass.TypesInfo, call):
+		// Allowed form: x = append(x, ...) with x rooted at a parameter or
+		// receiver — growth of a pre-sized buffer the caller owns. The
+		// enclosing AssignStmt check verifies destination identity; here we
+		// verify the root.
+		root := astutil.RootIdent(call.Args[0])
+		if root == nil || !params[pass.ObjectOf(root)] {
+			pass.Reportf(call.Pos(), "hot path allocates: append to a slice not rooted at a parameter or receiver")
+		}
+		return
+	}
+	if name, ok := astutil.PkgFunc(pass.TypesInfo, call.Fun, "fmt"); ok {
+		pass.Reportf(call.Pos(), "hot path allocates: fmt.%s boxes its arguments", name)
+		return
+	}
+	// Conversions: T(x) with T interface.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			reportBoxing(pass, call.Args[0], tv.Type)
+		}
+		return
+	}
+	// Implicit boxing at the call boundary.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis != token.NoPos)
+		if pt != nil && types.IsInterface(pt) {
+			reportBoxing(pass, arg, pt)
+		}
+	}
+}
+
+// paramType resolves the declared type of argument i, unwrapping the
+// variadic element type (unless the call spreads with ...).
+func paramType(sig *types.Signature, i int, spread bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if spread {
+			return last
+		}
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// checkAssign flags interface boxing in assignments.
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		lt := pass.TypesInfo.TypeOf(lhs)
+		if lt != nil && types.IsInterface(lt) {
+			reportBoxing(pass, n.Rhs[i], lt)
+		}
+	}
+}
+
+// checkValueSpec flags interface boxing in var declarations.
+func checkValueSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	for i, name := range spec.Names {
+		if i >= len(spec.Values) {
+			break
+		}
+		lt := pass.TypesInfo.TypeOf(name)
+		if lt != nil && types.IsInterface(lt) {
+			reportBoxing(pass, spec.Values[i], lt)
+		}
+	}
+}
+
+// checkReturn flags interface boxing in return statements.
+func checkReturn(pass *analysis.Pass, fn *ast.FuncDecl, n *ast.ReturnStmt) {
+	if fn.Type.Results == nil {
+		return
+	}
+	sig, ok := pass.TypesInfo.TypeOf(fn.Name).(*types.Signature)
+	if !ok || sig.Results().Len() != len(n.Results) {
+		return
+	}
+	for i, res := range n.Results {
+		rt := sig.Results().At(i).Type()
+		if types.IsInterface(rt) {
+			reportBoxing(pass, res, rt)
+		}
+	}
+}
+
+// reportBoxing reports expr if converting it to an interface type heap-
+// allocates: concrete, non-pointer, non-nil values box.
+func reportBoxing(pass *analysis.Pass, expr ast.Expr, to types.Type) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if tv.IsNil() || types.IsInterface(from) {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits an interface word without boxing
+	}
+	pass.Reportf(expr.Pos(), "hot path allocates: converting %s to interface %s boxes the value", from, to)
+}
+
+// capturesLocals reports whether the closure references function-local
+// variables declared outside it.
+func capturesLocals(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Package-level variables are not captured; anything declared in a
+		// function scope outside the literal is.
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if !astutil.Within(lit, obj.Pos()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"flowrank-lint/internal/analysistest"
+	"flowrank-lint/internal/analyzers/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "flowtable")
+}

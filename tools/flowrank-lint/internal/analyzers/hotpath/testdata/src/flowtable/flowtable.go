@@ -1,0 +1,121 @@
+// Package flowtable is hotpath testdata: functions annotated
+// //flowrank:hotpath must not contain allocating constructs; everything
+// else is unconstrained.
+package flowtable
+
+import "fmt"
+
+type entry struct {
+	packets int64
+	bytes   int64
+}
+
+type table struct {
+	slots []entry
+	buf   []int64
+}
+
+func sink(v any) { _ = v }
+
+// add is the clean per-packet path: index, adds, receiver-rooted state.
+//
+//flowrank:hotpath
+func (t *table) add(i int, size int64) {
+	e := &t.slots[i]
+	e.packets++
+	e.bytes += size
+}
+
+// unannotated may allocate freely: no finding.
+func (t *table) unannotated() []int64 {
+	return append([]int64{}, t.buf...)
+}
+
+//flowrank:hotpath
+func (t *table) sliceLit(v int64) {
+	vs := []int64{v} // want `hot path allocates: slice literal`
+	t.buf[0] += vs[0]
+}
+
+//flowrank:hotpath
+func (t *table) mapLit(k string) int {
+	m := map[string]int{k: 1} // want `hot path allocates: map literal`
+	return m[k]
+}
+
+//flowrank:hotpath
+func (t *table) grow() {
+	t.buf = make([]int64, 2*len(t.buf)) // want `hot path allocates: make`
+}
+
+//flowrank:hotpath
+func (t *table) fresh() *entry {
+	return new(entry) // want `hot path allocates: new`
+}
+
+//flowrank:hotpath
+func (t *table) escape() *entry {
+	return &entry{} // want `hot path allocates: &composite literal escapes to the heap`
+}
+
+// appends: self-append rooted at a parameter or the receiver is the
+// pre-sized-buffer idiom and is allowed; anything else is flagged.
+//
+//flowrank:hotpath
+func (t *table) appends(dst []int64, v int64) []int64 {
+	dst = append(dst, v)     // parameter-rooted: no finding
+	t.buf = append(t.buf, v) // receiver-rooted: no finding
+	var tmp []int64
+	tmp = append(tmp, v) // want `hot path allocates: append to a slice not rooted at a parameter or receiver`
+	_ = tmp
+	return dst
+}
+
+//flowrank:hotpath
+func (t *table) format(v int64) int {
+	s := fmt.Sprintf("%d", v) // want `hot path allocates: fmt.Sprintf boxes its arguments`
+	return len(s)
+}
+
+//flowrank:hotpath
+func (t *table) closure(v int64) func() int64 {
+	return func() int64 { return v } // want `hot path allocates: closure captures local variables`
+}
+
+// staticClosure captures nothing: no finding.
+//
+//flowrank:hotpath
+func (t *table) staticClosure() func() int64 {
+	return func() int64 { return 42 }
+}
+
+//flowrank:hotpath
+func (t *table) boxReturn(v int64) any {
+	return v // want `hot path allocates: converting int64 to interface any boxes the value`
+}
+
+//flowrank:hotpath
+func (t *table) boxArg(v int64) {
+	sink(v) // want `hot path allocates: converting int64 to interface`
+}
+
+//flowrank:hotpath
+func (t *table) boxAssign(v int64) {
+	var a any
+	a = v // want `hot path allocates: converting int64 to interface`
+	_ = a
+}
+
+// pointers are interface-word shaped; no boxing, no finding.
+//
+//flowrank:hotpath
+func (t *table) noBox(e *entry) any {
+	return e
+}
+
+//flowrank:hotpath extra words // want `malformed //flowrank:hotpath directive: unexpected argument`
+func misdecorated() {}
+
+//flowrank:hotpath // want `misplaced //flowrank:hotpath directive`
+
+var placeholder int

@@ -1,0 +1,268 @@
+// Package maporder flags map iterations whose order can leak into
+// output inside determinism-critical packages. The streaming engine's
+// contract — bit-identical bin reports for any worker count — dies the
+// moment a `range` over a map appends to a result slice, writes to an
+// output stream, sends on a channel, or feeds a merge without a
+// deterministic order being restored. The analyzer flags such loops
+// unless the accumulated slice is sorted later in the same block, or the
+// loop carries a `//flowrank:unordered <reason>` annotation on the line
+// before (or on) the `for`.
+//
+// The analyzer also owns directive hygiene for the `unordered` verb (and
+// unknown //flowrank: verbs): malformed directives and annotations that
+// are not attached to any map range are reported everywhere, so a typo
+// can never silently disable a determinism check.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flowrank-lint/internal/analysis"
+	"flowrank-lint/internal/astutil"
+	"flowrank-lint/internal/critical"
+	"flowrank-lint/internal/directive"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iterations that feed slices, output or merges in nondeterministic order " +
+		"in determinism-critical packages (sort afterwards or annotate //flowrank:unordered <reason>)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	isCritical := critical.Is(pass.Pkg)
+	for _, f := range pass.Files {
+		ds, errs := directive.CollectFile(f)
+		for _, e := range errs {
+			// hotpath directive errors belong to the hotpath analyzer.
+			if e.Verb != "hotpath" {
+				pass.Reportf(e.Pos, "%s", e.Msg)
+			}
+		}
+		var unordered []directive.Directive
+		for _, d := range ds {
+			if d.Verb == "unordered" {
+				unordered = append(unordered, d)
+			}
+		}
+		used := make([]bool, len(unordered))
+
+		parents := astutil.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rng) {
+				return true
+			}
+			if i := annotationFor(pass, unordered, rng); i >= 0 {
+				used[i] = true
+				return true
+			}
+			if isCritical {
+				checkRange(pass, parents, rng)
+			}
+			return true
+		})
+
+		for i, d := range unordered {
+			if !used[i] {
+				pass.Reportf(d.Pos, "misplaced //flowrank:unordered directive: not attached to a map range (put it on the line before the for statement)")
+			}
+		}
+	}
+	return nil
+}
+
+// isMapRange reports whether rng iterates a map.
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// annotationFor returns the index of the unordered directive attached to
+// rng: on the line before the for statement or trailing on its line.
+func annotationFor(pass *analysis.Pass, unordered []directive.Directive, rng *ast.RangeStmt) int {
+	line := pass.Fset.Position(rng.Pos()).Line
+	file := pass.Fset.Position(rng.Pos()).Filename
+	for i, d := range unordered {
+		p := pass.Fset.Position(d.Pos)
+		if p.Filename == file && (p.Line == line || p.Line == line-1) {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkRange inspects one un-annotated map range in a critical package.
+func checkRange(pass *analysis.Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt) {
+	// Order-sensitive sinks with no sortable result: report immediately.
+	// Accumulating appends: remember the target and look for a sort below.
+	targets := map[string]bool{} // rendered target expression -> still unsorted
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rng.For, "map iteration sends on a channel in map order; iterate sorted keys or annotate //flowrank:unordered <reason>")
+		case *ast.CallExpr:
+			if name, ok := astutil.PkgFunc(pass.TypesInfo, n.Fun, "fmt"); ok &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(rng.For, "map iteration writes output in map order; iterate sorted keys or annotate //flowrank:unordered <reason>")
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch {
+				case writerMethods[sel.Sel.Name]:
+					pass.Reportf(rng.For, "map iteration calls %s in map order; iterate sorted keys or annotate //flowrank:unordered <reason>", sel.Sel.Name)
+				case strings.Contains(sel.Sel.Name, "Merge"):
+					pass.Reportf(rng.For, "map iteration feeds merge %s in map order; iterate sorted keys or annotate //flowrank:unordered <reason>", sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !astutil.IsAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst := n.Lhs[i]
+				if declaredInside(pass, rng, dst) {
+					continue // loop-local accumulator; order cannot escape
+				}
+				targets[astutil.ExprString(pass.Fset, dst)] = true
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return
+	}
+	markSorted(pass, parents, rng, targets)
+	for name, unsortedTarget := range targets {
+		if unsortedTarget {
+			pass.Reportf(rng.For, "map iteration appends to %q in nondeterministic order; sort it afterwards or annotate //flowrank:unordered <reason>", name)
+		}
+	}
+}
+
+// writerMethods are method names that emit bytes in call order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true, "Encode": true,
+}
+
+// declaredInside reports whether the assignment destination is a
+// variable declared within the range statement itself.
+func declaredInside(pass *analysis.Pass, rng *ast.RangeStmt, dst ast.Expr) bool {
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		return false // selector/index destinations always outlive the loop
+	}
+	obj := pass.ObjectOf(id)
+	return obj != nil && astutil.Within(rng, obj.Pos())
+}
+
+// markSorted clears targets that a later statement in the enclosing
+// block sorts (directly, or through a variable derived from the target,
+// like tail := dst[base:]; sort.Slice(tail, ...)).
+func markSorted(pass *analysis.Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt, targets map[string]bool) {
+	tail := followingStmts(parents, rng)
+	// names tracks identifiers whose value derives from an append target;
+	// map key is the identifier name, value the target it derives from.
+	names := map[string]string{}
+	for t := range targets {
+		if id := astutil.RootIdent(mustParse(t)); id != nil {
+			names[id.Name] = t
+		}
+		names[t] = t
+	}
+	for _, stmt := range tail {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if t, ok := derivesFrom(names, rhs); ok && i < len(s.Lhs) {
+					if id, isIdent := s.Lhs[i].(*ast.Ident); isIdent {
+						names[id.Name] = t
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isSortCall(pass, call) {
+				for _, arg := range call.Args {
+					if t, ok := derivesFrom(names, arg); ok {
+						targets[t] = false
+					}
+				}
+				// method form: x.Sort() / sort on the receiver
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if t, ok := derivesFrom(names, sel.X); ok {
+						targets[t] = false
+					}
+				}
+			}
+		}
+	}
+}
+
+// mustParse is a tiny helper turning a rendered target back into an
+// expression for root-identifier extraction; rendering is only used for
+// map keys, so a plain identifier re-parse is enough.
+func mustParse(s string) ast.Expr {
+	return &ast.Ident{Name: strings.FieldsFunc(s, func(r rune) bool {
+		return r == '.' || r == '[' || r == '(' || r == '*'
+	})[0]}
+}
+
+// derivesFrom reports whether expr mentions any tracked identifier, and
+// which target that identifier derives from.
+func derivesFrom(names map[string]string, expr ast.Expr) (string, bool) {
+	var target string
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if t, ok := names[id.Name]; ok {
+				target, found = t, true
+			}
+		}
+		return !found
+	})
+	return target, found
+}
+
+// isSortCall matches sort.*, slices.Sort* and .Sort() calls.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if name, ok := astutil.PkgFunc(pass.TypesInfo, call.Fun, "sort"); ok {
+		switch name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	}
+	if name, ok := astutil.PkgFunc(pass.TypesInfo, call.Fun, "slices"); ok {
+		return strings.HasPrefix(name, "Sort")
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sort" {
+		return true
+	}
+	return false
+}
+
+// followingStmts returns the statements after the one containing rng in
+// its innermost enclosing block.
+func followingStmts(parents map[ast.Node]ast.Node, rng *ast.RangeStmt) []ast.Stmt {
+	var child ast.Node = rng
+	for node := parents[rng]; node != nil; node = parents[node] {
+		if block, ok := node.(*ast.BlockStmt); ok {
+			for i, s := range block.List {
+				if s == child {
+					return block.List[i+1:]
+				}
+			}
+			return nil
+		}
+		child = node
+	}
+	return nil
+}

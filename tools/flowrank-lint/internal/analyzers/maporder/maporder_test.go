@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"flowrank-lint/internal/analysistest"
+	"flowrank-lint/internal/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "stream", "pacing")
+}

@@ -1,0 +1,16 @@
+// Package pacing is maporder testdata for an exempt package: the same
+// order-leaking iteration that is an error in a determinism-critical
+// package is allowed here, but directive hygiene still applies.
+package pacing
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // exempt package: no finding
+		out = append(out, k)
+	}
+	return out
+}
+
+//flowrank:unordered // want `malformed //flowrank:unordered directive: missing reason`
+
+var placeholder int

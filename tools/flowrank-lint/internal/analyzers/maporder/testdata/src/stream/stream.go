@@ -1,0 +1,107 @@
+// Package stream is maporder testdata: the package name makes it
+// determinism-critical, so unsorted map iterations feeding slices,
+// output, channels or merges must be reported.
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+type entry struct {
+	k string
+	v int
+}
+
+type merger struct{ total int }
+
+func (m *merger) MergeFrom(v int) { m.total += v }
+
+// keys leaks map order into the returned slice.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to "out" in nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys restores a deterministic order: no finding.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedTail sorts through a derived slice: no finding.
+func sortedTail(m map[string]int, dst []entry) []entry {
+	base := len(dst)
+	for k, v := range m {
+		dst = append(dst, entry{k, v})
+	}
+	tail := dst[base:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].k < tail[j].k })
+	return dst
+}
+
+// sum aggregates order-insensitively: no finding.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAccumulator appends to a loop-local slice only: no finding.
+func localAccumulator(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// report writes output in map order.
+func report(m map[string]int) {
+	for k, v := range m { // want `map iteration writes output in map order`
+		fmt.Println(k, v)
+	}
+}
+
+// send forwards values in map order.
+func send(m map[string]int, ch chan int) {
+	for _, v := range m { // want `map iteration sends on a channel in map order`
+		ch <- v
+	}
+}
+
+// feedMerge feeds a merge in map order.
+func feedMerge(m map[string]int, dst *merger) {
+	for _, v := range m { // want `map iteration feeds merge MergeFrom in map order`
+		dst.MergeFrom(v)
+	}
+}
+
+// annotated documents why order cannot matter: no finding.
+func annotated(m map[string]int) []float64 {
+	counts := make([]float64, 0, len(m))
+	//flowrank:unordered the estimator canonicalizes the count multiset
+	for _, v := range m {
+		counts = append(counts, float64(v))
+	}
+	return counts
+}
+
+//flowrank:unordered floating far from any loop // want `misplaced //flowrank:unordered directive`
+
+//flowrank:unordered // want `malformed //flowrank:unordered directive: missing reason`
+
+//flowrank:unorderd typo // want `unknown //flowrank: directive "unorderd"`
+
+var placeholder int

@@ -1,0 +1,36 @@
+// Package metrics is wallclock testdata: the package name makes it
+// determinism-critical, so wall-clock reads and the global math/rand
+// source must be reported; explicitly seeded generators are allowed.
+package metrics
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now in determinism-critical package metrics`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `global math/rand source rand.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source rand.Shuffle`
+}
+
+// seeded draws from an explicitly seeded generator: no finding.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// duration arithmetic on trace timestamps is fine: no finding.
+func budget(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -1,0 +1,9 @@
+// Package pacing is wallclock testdata for an exempt package: replay
+// pacing legitimately reads the wall clock.
+package pacing
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // exempt package: no finding
+}

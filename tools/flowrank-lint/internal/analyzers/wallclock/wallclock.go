@@ -1,0 +1,66 @@
+// Package wallclock forbids wall-clock reads and global random sources
+// in determinism-critical packages. Reproducibility of every figure and
+// of the cross-worker bit-identical contract requires that time enters
+// the system only as trace timestamps and randomness only through
+// explicitly seeded generators (internal/randx, rand.New(rand.NewSource(seed))).
+// A time.Now() or a global rand.Intn() in stream/flowtable/netsample/
+// invert/metrics/report/experiments silently varies the output between
+// runs; pacing (internal/source), the daemon, commands and tests are
+// exempt by package.
+package wallclock
+
+import (
+	"go/ast"
+
+	"flowrank-lint/internal/analysis"
+	"flowrank-lint/internal/astutil"
+	"flowrank-lint/internal/critical"
+)
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now and global math/rand in determinism-critical packages; " +
+		"use trace timestamps and explicitly seeded generators instead",
+	Run: run,
+}
+
+// clockFuncs are the time package's wall-clock entry points.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true, "After": true,
+	"AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+// globalRand are math/rand package-level functions drawing from the
+// process-global, auto-seeded source. rand.New and rand.NewSource are
+// allowed: they take an explicit seed.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !critical.Is(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := astutil.PkgFunc(pass.TypesInfo, sel, "time"); ok && clockFuncs[name] {
+				pass.Reportf(sel.Pos(), "wall-clock read time.%s in determinism-critical package %s; thread trace timestamps instead", name, pass.Pkg.Name())
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := astutil.PkgFunc(pass.TypesInfo, sel, path); ok && globalRand[name] {
+					pass.Reportf(sel.Pos(), "global math/rand source rand.%s in determinism-critical package %s; use an explicitly seeded rand.New(rand.NewSource(seed)) or internal/randx", name, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

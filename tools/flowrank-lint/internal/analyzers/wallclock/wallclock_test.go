@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"flowrank-lint/internal/analysistest"
+	"flowrank-lint/internal/analyzers/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "metrics", "pacing")
+}

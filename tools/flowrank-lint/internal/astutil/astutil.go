@@ -1,0 +1,103 @@
+// Package astutil holds the small syntax helpers shared by the
+// analyzers: parent maps, expression rendering, package-qualified call
+// matching.
+package astutil
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Parents maps every node under root to its parent node.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ExprString renders an expression without position information.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// PkgFunc matches a call/selector of the form pkg.Name where pkg is an
+// imported package with the given import path, returning the selected
+// name.
+func PkgFunc(info *types.Info, e ast.Expr, path string) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// RootIdent unwraps selector, index and star expressions down to the
+// base identifier, if there is one.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsAppend reports whether the call is the append builtin.
+func IsAppend(info *types.Info, call *ast.CallExpr) bool {
+	return isBuiltin(info, call, "append")
+}
+
+// IsBuiltin reports whether the call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	return isBuiltin(info, call, name)
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// Within reports whether pos falls inside node's extent.
+func Within(node ast.Node, pos token.Pos) bool {
+	return node.Pos() <= pos && pos < node.End()
+}

@@ -1,0 +1,108 @@
+// Package directive parses `//flowrank:` source directives, the two
+// annotations the lint suite recognizes:
+//
+//	//flowrank:hotpath
+//	//flowrank:unordered <reason>
+//
+// A directive follows the Go toolchain convention: no space between //
+// and the verb, so ordinary prose mentioning flowrank is never mistaken
+// for one. Parsing is strict — an unknown verb, an argument after
+// hotpath, or a missing reason after unordered is an error the analyzers
+// report as a diagnostic, never silently ignored: a typo like
+// //flowrank:unorderd must not quietly disable a determinism check.
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix introduces every flowrank directive comment.
+const Prefix = "//flowrank:"
+
+// Directive is one parsed annotation.
+type Directive struct {
+	// Verb is "hotpath" or "unordered".
+	Verb string
+	// Reason is the free-text justification (unordered only).
+	Reason string
+	Pos    token.Pos
+}
+
+// Error is a malformed directive, positioned at its comment. Verb
+// records the (possibly unknown) verb so each analyzer can report the
+// errors of the namespace it owns.
+type Error struct {
+	Pos  token.Pos
+	Verb string
+	Msg  string
+}
+
+func (e Error) Error() string { return e.Msg }
+
+// Parse interprets a single comment. ok reports whether the comment is a
+// flowrank directive at all; when ok, err reports whether it is
+// malformed.
+func Parse(c *ast.Comment) (d Directive, ok bool, err *Error) {
+	if !strings.HasPrefix(c.Text, Prefix) {
+		return Directive{}, false, nil
+	}
+	rest := strings.TrimPrefix(c.Text, Prefix)
+	// A " // " sequence starts an inline comment within the directive
+	// (used by the analysistest testdata's trailing `// want` clauses).
+	rest, _, _ = strings.Cut(rest, " // ")
+	verb, args, _ := strings.Cut(rest, " ")
+	verb = strings.TrimSpace(verb)
+	args = strings.TrimSpace(args)
+	d = Directive{Verb: verb, Reason: args, Pos: c.Pos()}
+	switch verb {
+	case "hotpath":
+		if args != "" {
+			return d, true, &Error{c.Pos(), verb, fmt.Sprintf("malformed %shotpath directive: unexpected argument %q", Prefix, args)}
+		}
+	case "unordered":
+		if args == "" {
+			return d, true, &Error{c.Pos(), verb, fmt.Sprintf("malformed %sunordered directive: missing reason", Prefix)}
+		}
+	default:
+		return d, true, &Error{c.Pos(), verb, fmt.Sprintf("unknown %s directive %q", Prefix, verb)}
+	}
+	return d, true, nil
+}
+
+// CollectFile parses every directive in f's comments, returning the
+// well-formed ones and the malformed ones separately.
+func CollectFile(f *ast.File) ([]Directive, []*Error) {
+	var ds []Directive
+	var errs []*Error
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			d, ok, err := Parse(c)
+			if !ok {
+				continue
+			}
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			ds = append(ds, d)
+		}
+	}
+	return ds, errs
+}
+
+// FromDoc returns the directive with the given verb from a declaration's
+// doc comment group, if present and well-formed.
+func FromDoc(doc *ast.CommentGroup, verb string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok, err := Parse(c); ok && err == nil && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

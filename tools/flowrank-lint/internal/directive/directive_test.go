@@ -1,0 +1,62 @@
+package directive
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestParse pins the strict directive grammar: the two verbs, their
+// argument rules, the inline-comment cut, and — critically — that
+// malformed directives are errors rather than silently ignored.
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text    string
+		isDir   bool
+		wantErr string // substring of the error, "" for well-formed
+		verb    string
+		reason  string
+	}{
+		{"//flowrank:hotpath", true, "", "hotpath", ""},
+		{"//flowrank:unordered estimators canonicalize input", true, "", "unordered", "estimators canonicalize input"},
+		{"//flowrank:unordered reason // trailing note", true, "", "unordered", "reason"},
+		{"//flowrank:unordered", true, "missing reason", "unordered", ""},
+		{"//flowrank:unordered   ", true, "missing reason", "unordered", ""},
+		{"//flowrank:hotpath because it is hot", true, "unexpected argument", "hotpath", ""},
+		{"//flowrank:unorderd typo", true, "unknown", "unorderd", ""},
+		{"//flowrank:", true, "unknown", "", ""},
+		{"// flowrank:hotpath", false, "", "", ""}, // space: prose, not a directive
+		{"// an ordinary comment", false, "", "", ""},
+		{"//flowrank:hotpath // want \"x\"", true, "", "hotpath", ""}, // testdata trailing want
+	}
+	for _, c := range cases {
+		d, ok, err := Parse(&ast.Comment{Text: c.text})
+		if ok != c.isDir {
+			t.Errorf("Parse(%q): directive=%v, want %v", c.text, ok, c.isDir)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("Parse(%q): unexpected error %v", c.text, err)
+				continue
+			}
+			if d.Verb != c.verb || d.Reason != c.reason {
+				t.Errorf("Parse(%q) = verb %q reason %q, want %q %q", c.text, d.Verb, d.Reason, c.verb, c.reason)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q, got none", c.text, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Msg, c.wantErr) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.text, err.Msg, c.wantErr)
+		}
+		if err.Verb != c.verb {
+			t.Errorf("Parse(%q): error verb %q, want %q", c.text, err.Verb, c.verb)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package load type-checks Go packages without golang.org/x/tools: it
+// shells out to `go list -deps -export` for the package graph and the
+// compiler's export data (built into the go build cache, so this works
+// fully offline), parses each target package's source with go/parser, and
+// type-checks it with go/types using the stdlib gc importer fed from that
+// export data. This is the same shape as a go vet driver: only the
+// packages under analysis are parsed; every dependency — stdlib included —
+// is imported from export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// ImportPath is the package's import path ("flowrank/internal/stream").
+	ImportPath string
+	// Name is the package name ("stream").
+	Name string
+	Dir  string
+	Fset *token.FileSet
+	// Files are the compiled (non-test) syntax trees, with comments.
+	Files []*ast.File
+	// TestFiles are the parsed-only _test.go trees of the same directory,
+	// both in-package and external test package files.
+	TestFiles []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	// XTestGoFiles are the external (package foo_test) test files.
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			return pkgs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,TestGoFiles,XTestGoFiles,Error"
+
+// Packages loads, parses and type-checks the packages matched by patterns,
+// resolved relative to dir. Dependencies are imported from export data and
+// are not returned.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", listFields}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := check(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages matched %v in %s", patterns, dir)
+	}
+	return out, nil
+}
+
+// ExportImporter returns a types.Importer that reads compiler export data
+// from the files named in exports (import path -> file), as produced by
+// `go list -export`.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, p listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var testFiles []*ast.File
+	for _, name := range append(append([]string{}, p.TestGoFiles...), p.XTestGoFiles...) {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		testFiles = append(testFiles, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Name:       p.Name,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// StdExports runs `go list -deps -export` over the given stdlib import
+// paths and returns the import-path -> export-file map for them and all
+// their dependencies. The analysistest harness uses this to type-check
+// testdata packages whose imports are stdlib-only.
+func StdExports(imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-e", "-deps", "-export", listFields}, imports...)
+	listed, err := goList("", args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
