@@ -50,14 +50,16 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # The subset CI's bench-smoke job runs, plus the machine-readable records
-# (the kernels model figure, the network-wide coordination figure and the
-# bounded-memory sketch figure) and the engine worker-scaling curve.
+# (the kernels model figure, the network-wide coordination and dynamic
+# control-plane figures and the bounded-memory sketch figure) and the
+# engine worker-scaling curve.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine|NetworkCoord|ExtensionSketch' -benchtime 1x
+	$(GO) test -run '^$$' -bench 'Misrank|ModelRanking|StreamPackets|StreamEngine|NetworkCoord|NetworkDynamic|ExtensionSketch' -benchtime 1x
 	$(GO) test -run '^$$' -bench 'Ingest' -benchtime 1x ./internal/flowtable
 	$(GO) test -run '^$$' -bench '^BenchmarkEngine$$' -benchtime 1x ./internal/stream
 	$(GO) run ./cmd/flowrank-bench -fig kernels -json
 	$(GO) run ./cmd/flowrank-bench -fig coord -json
+	$(GO) run ./cmd/flowrank-bench -fig dynamic -json
 	$(GO) run ./cmd/flowrank-bench -fig sketch -json
 
 # End-to-end flowtop cross-check: sequential vs sharded output must be

@@ -189,6 +189,54 @@ func BenchmarkNetworkCoordSimulate(b *testing.B) {
 	b.ReportMetric(float64(len(flows)), "flows/op")
 }
 
+// BenchmarkNetworkDynamicLoop measures one pass of the dynamic control
+// plane over a churning reduced fat-tree workload: per bin, observe,
+// re-allocate (curves carried across bins by the cache) and simulate.
+// It is part of the CI bench-smoke regex, so the control loop's cost has
+// a recorded trajectory.
+func BenchmarkNetworkDynamicLoop(b *testing.B) {
+	topo := FatTreeTopology(1)
+	cfg := SprintFiveTuple(6, 3)
+	cfg.ArrivalRate = 120
+	bins, err := GenerateDynamicNetworkWorkload(topo, ChurnWorkload(cfg, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d0, err := ObserveNetwork(topo, bins[0], 0.1, EMInverter{}, 10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budgets := map[string]float64{}
+	for sw, load := range NetworkOfferedLoads(d0) {
+		budgets[sw] = 0.02 * load
+	}
+	if err := topo.SetBudgets(budgets); err != nil {
+		b.Fatal(err)
+	}
+	cache := NewNetworkCurveCache(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl := &NetworkController{
+			Topo:      topo,
+			Alloc:     WaterfillAllocator{},
+			Estimator: EMInverter{},
+			ProbeRate: 0.1,
+			TopT:      10,
+			Seed:      uint64(i) + 1,
+			Curves:    cache,
+			SizeAware: true,
+		}
+		out, err := ctl.Run(bins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(bins) {
+			b.Fatal("degenerate result")
+		}
+	}
+	b.ReportMetric(float64(len(bins)), "bins/op")
+}
+
 // BenchmarkStreamEngine measures the sharded streaming monitor's
 // ingestion throughput across worker counts on a multi-bin trace
 // (packets are materialized once, outside the timer). On multi-core

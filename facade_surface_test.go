@@ -83,4 +83,20 @@ func TestFacadeSurface(t *testing.T) {
 		_ *Allocation
 	)
 	_ = NewTopology
+
+	// Dynamic per-bin control plane.
+	var (
+		_ *NetworkController
+		_ *NetworkBinResult
+		_ *NetworkCurveCache
+		_ DynamicTraceConfig
+		_ DynamicPreset = DynamicChurn
+		_ DynamicPreset = DynamicDiurnal
+	)
+	_ = NewNetworkCurveCache
+	_ = NetworkSizeAwareRates
+	_ = NetworkRankBudgeted
+	_ = ChurnWorkload
+	_ = DiurnalWorkload
+	_ = GenerateDynamicNetworkWorkload
 }

@@ -643,3 +643,68 @@ func NetworkOfferedLoads(d *NetworkDemand) map[string]float64 { return netsample
 func NetworkRank(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int, seed uint64) (*NetworkResult, error) {
 	return netsample.Simulate(topo, flows, a, topT, runs, seed)
 }
+
+// NetworkRankBudgeted is NetworkRank with every switch's budget enforced
+// as a hard per-run sampling quota: a switch that exhausts its quota
+// truncates everything after, so comparing allocations is budget-fair.
+func NetworkRankBudgeted(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int, seed uint64) (*NetworkResult, error) {
+	return netsample.SimulateBudgeted(topo, flows, a, topT, runs, seed)
+}
+
+// NetworkController is the dynamic per-bin control plane: it re-observes
+// and re-allocates every measurement bin, carrying per-link model curves
+// across bins in a NetworkCurveCache, optionally capping rates by the
+// previous bin's realized loads (SizeAware) and routing each monitor's
+// rate through the adaptive controller's clamps (Adapt).
+// NetworkBinResult is one control-loop step's outcome.
+type (
+	NetworkController = netsample.Controller
+	NetworkBinResult  = netsample.BinResult
+	NetworkCurveCache = netsample.CurveCache
+)
+
+// NewNetworkCurveCache returns a cross-bin per-link curve cache with the
+// given relative tolerance (0 = default): links whose fitted population
+// stays within tolerance reuse their rate-quality curves instead of
+// re-evaluating the model.
+func NewNetworkCurveCache(tol float64) *NetworkCurveCache { return netsample.NewCurveCache(tol) }
+
+// NetworkSizeAwareRates caps an allocation's per-switch rates by the
+// realized loads of the previous bin's flows pushed through the
+// allocation's hash ownership, so the realized sampled load tracks the
+// budget instead of the allocator's expectation.
+func NetworkSizeAwareRates(topo *Topology, prev []RoutedFlow, a *Allocation) map[string]float64 {
+	return netsample.SizeAwareRates(topo, prev, a)
+}
+
+// DynamicTraceConfig describes a time-varying workload: a base trace
+// configuration plus a drift law re-drawing per-path demand bin to bin.
+// DynamicPreset selects the law: DynamicChurn re-draws a fraction of the
+// demand weights every bin, DynamicDiurnal modulates them sinusoidally.
+type (
+	DynamicTraceConfig = tracegen.DynamicConfig
+	DynamicPreset      = tracegen.Preset
+)
+
+// The two drift laws of DynamicTraceConfig.
+const (
+	DynamicChurn   = tracegen.PresetChurn
+	DynamicDiurnal = tracegen.PresetDiurnal
+)
+
+// ChurnWorkload returns the churn-preset dynamic configuration over the
+// base trace config with default drift parameters.
+func ChurnWorkload(base TraceConfig, bins int) DynamicTraceConfig { return tracegen.Churn(base, bins) }
+
+// DiurnalWorkload returns the diurnal-preset dynamic configuration over
+// the base trace config with default drift parameters.
+func DiurnalWorkload(base TraceConfig, bins int) DynamicTraceConfig {
+	return tracegen.Diurnal(base, bins)
+}
+
+// GenerateDynamicNetworkWorkload synthesizes one routed workload per
+// measurement bin under the dynamic configuration's drift law; pair
+// demand weights drift bin to bin while routes stay fixed.
+func GenerateDynamicNetworkWorkload(topo *Topology, dc DynamicTraceConfig) ([][]RoutedFlow, error) {
+	return netsample.GenerateDynamicWorkload(topo, dc)
+}

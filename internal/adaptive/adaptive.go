@@ -17,9 +17,11 @@ import (
 )
 
 // ErrEmptyObservation is returned by Recommend when the observed bin holds
-// nothing to invert: no sampled flows or no sampled packets. Callers running
-// a closed loop (flowtop -adapt) match it with errors.Is and keep the
-// current rate rather than treating the bin as a controller failure.
+// nothing to invert: no sampled flows or packets, or too few sampled sizes
+// to fit any tail (fewer than 3, or a fully degenerate upper tail). Callers
+// running a closed loop (flowtop -adapt, flowrankd) match it with errors.Is
+// and keep the current rate rather than treating the bin as a controller
+// failure.
 var ErrEmptyObservation = errors.New("adaptive: empty observation (no sampled flows or packets)")
 
 // Hill returns the Hill estimator of the Pareto tail index from the k
@@ -196,13 +198,25 @@ func (c Controller) estimate(obs Observation) (invert.Estimate, error) {
 	// Default: tail index from the sampled sizes (sampled counts of Pareto
 	// flows keep the tail index — thinning preserves the power-law
 	// exponent), then the parametric fixed point on the scalar totals.
-	k := len(obs.SampledSizes) / 50
+	// invert.Hill needs 2 <= k < n, so k is clamped into [2, n-1]; a bin
+	// too quiet to fit any tail (fewer than 3 sampled flows, or a fully
+	// degenerate upper tail) is an empty observation, not a controller
+	// failure — closed loops keep their current rate and move on.
+	n := len(obs.SampledSizes)
+	k := n / 50
 	if k < 10 {
 		k = 10
 	}
+	if k >= n {
+		k = n - 1
+	}
+	if k < 2 {
+		return invert.Estimate{}, fmt.Errorf("%w: %d sampled sizes is too few for a tail fit",
+			ErrEmptyObservation, n)
+	}
 	beta, err := invert.Hill(obs.SampledSizes, k)
 	if err != nil {
-		return invert.Estimate{}, fmt.Errorf("adaptive: estimating tail: %w", err)
+		return invert.Estimate{}, fmt.Errorf("%w: %v", ErrEmptyObservation, err)
 	}
 	if beta <= 1.05 {
 		beta = 1.05 // keep the fitted mean finite

@@ -376,6 +376,51 @@ func TestRecommendDegenerateObservations(t *testing.T) {
 	}
 }
 
+// TestRecommendQuietBins is the regression table for the Hill-k floor:
+// the old code floored k at 10, so any bin with <= 10 sampled flows hit
+// invert.Hill's "k < n" precondition and surfaced a hard controller error.
+// A merely quiet bin (0, 1 or 2 sampled flows, or a degenerate tail) must
+// map to ErrEmptyObservation — the closed loops keep their rate — while
+// 5- and 11-flow bins must produce a recommendation.
+func TestRecommendQuietBins(t *testing.T) {
+	mk := func(sizes ...float64) Observation {
+		var pkts int64
+		for _, s := range sizes {
+			pkts += int64(s)
+		}
+		return Observation{Rate: 0.1, SampledFlows: len(sizes), SampledPackets: pkts, SampledSizes: sizes}
+	}
+	cases := []struct {
+		name    string
+		obs     Observation
+		isEmpty bool
+	}{
+		{"0 flows", mk(), true},
+		{"1 flow", mk(7), true},
+		{"2 flows", mk(3, 9), true},
+		{"5 flows", mk(1, 2, 3, 4, 8), false},
+		{"11 flows", mk(1, 1, 2, 2, 3, 3, 4, 5, 6, 8, 16), false},
+		{"degenerate tail", mk(5, 5, 5, 5, 5), true},
+	}
+	ctl := Controller{Target: 1, TopT: 2, Workers: 1}
+	for _, c := range cases {
+		rate, _, err := ctl.Recommend(c.obs)
+		if c.isEmpty {
+			if !errors.Is(err, ErrEmptyObservation) {
+				t.Errorf("%s: err = %v, want ErrEmptyObservation", c.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: quiet-but-usable bin failed: %v", c.name, err)
+			continue
+		}
+		if !(rate > 0 && rate <= 1) {
+			t.Errorf("%s: recommended rate %g outside (0, 1]", c.name, rate)
+		}
+	}
+}
+
 // TestRecommendEstimateMatchesRecommend: feeding the estimate back through
 // RecommendEstimate must reproduce Recommend exactly — the closed loop
 // (flowtop -adapt) re-uses the per-bin inversion instead of re-running it.

@@ -66,6 +66,7 @@ var registry = map[string]struct {
 	"adaptive": {extraAdaptive, "extension: adaptive sampling-rate controller (future work #3)"},
 	"invert":   {extraInvert, "extension: flow-size distribution inversion from sampled counts"},
 	"coord":    {extraCoord, "extension: network-wide coordinated sampling on a fat-tree topology"},
+	"dynamic":  {extraDynamic, "extension: dynamic per-bin control plane on a churning fat-tree workload"},
 }
 
 // IDs returns all experiment ids in a stable order.

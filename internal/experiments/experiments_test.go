@@ -11,7 +11,7 @@ import (
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	want := 16 + 8 // figures + extras
+	want := 16 + 9 // figures + extras
 	if len(ids) != want {
 		t.Errorf("%d experiment ids, want %d: %v", len(ids), want, ids)
 	}
@@ -239,6 +239,30 @@ func TestCoordExperiment(t *testing.T) {
 				row[0], prevCoord, coord)
 		}
 		prevWorkload, prevCoord = row[0], coord
+	}
+}
+
+// TestDynamicExperiment pins the dynamic control-plane figure's shape:
+// re-allocating every bin strictly beats the static-once allocation at
+// every tested budget on the churning workload, and the dynamic policy's
+// realized load never exceeds the enforced budget beyond the documented
+// last-flow overshoot. It runs in short mode: the reduced scale is the
+// cheapest sweep that still shows the qualitative gap.
+func TestDynamicExperiment(t *testing.T) {
+	tabs := runAndRender(t, "dynamic")
+	rows := tabs[0].Rows
+	if len(rows) < 2 {
+		t.Fatalf("dynamic: only %d budget rows", len(rows))
+	}
+	for _, row := range rows {
+		static, dynamic := mustFloat(t, row[2]), mustFloat(t, row[3])
+		if !(dynamic < static) {
+			t.Errorf("%s budget %s%%: dynamic %g not strictly below static %g",
+				row[0], row[1], dynamic, static)
+		}
+		if util := mustFloat(t, row[6]); util > 1.02 {
+			t.Errorf("%s budget %s%%: dynamic max util %g above enforced bound", row[0], row[1], util)
+		}
 	}
 }
 

@@ -70,11 +70,17 @@ func (a *Allocation) ExpectedSampled(d *Demand) map[string]float64 {
 }
 
 // ensureView lazily builds and memoizes the demand's canonical view and
-// scorer.
+// scorer, keyed on a fingerprint of Paths/Links/TopT: mutating the
+// demand rebuilds the memo on next use instead of silently serving a
+// stale view. A shared CurveCache (AttachCurves) carries unchanged
+// links' quality curves through the rebuild, so invalidation costs only
+// the links that actually moved.
 func (d *Demand) ensureView() *demandView {
-	if d.view == nil {
+	fp := d.fingerprint()
+	if d.view == nil || fp != d.viewFP {
 		d.view = newDemandView(d)
-		d.score = newScorer(d.view)
+		d.score = newScorer(d.view, d.curves)
+		d.viewFP = fp
 	}
 	return d.view
 }
@@ -234,7 +240,13 @@ func (GreedyWaterfill) Allocate(d *Demand) (*Allocation, error) {
 		p := v.paths[pi]
 		best, bestRate := "", -1.0
 		for _, sw := range Monitors(p.Switches) {
-			b, _ := v.d.Topo.Switch(sw)
+			b, ok := v.d.Topo.Switch(sw)
+			if !ok {
+				// A silent miss would waterfill against Budget 0 and
+				// assign the monitor rate 0 — surface the inconsistent
+				// demand instead.
+				return nil, fmt.Errorf("netsample: path %s monitor %q not in topology", p.Key(), sw)
+			}
 			rate := math.Min(1, b.Budget/(owned[sw]+p.Packets))
 			if rate > bestRate || (rate == bestRate && sw < best) {
 				best, bestRate = sw, rate
@@ -296,14 +308,16 @@ var rateGridPredict = []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 0.
 // allocator sharing the Demand shares the memo.
 type scorer struct {
 	v      *demandView
+	cache  *CurveCache           // optional cross-Demand curve reuse
 	models map[string]core.Model // link ID -> fitted model
 	points map[string][]float64  // link ID -> metric at rateGridPredict (NaN = not yet evaluated)
 	pairs  map[string]float64    // link ID -> countable pair total
 }
 
-func newScorer(v *demandView) *scorer {
+func newScorer(v *demandView, cache *CurveCache) *scorer {
 	return &scorer{
 		v:      v,
+		cache:  cache,
 		models: map[string]core.Model{},
 		points: map[string][]float64{},
 		pairs:  map[string]float64{},
@@ -334,20 +348,46 @@ func (s *scorer) linkModel(ls LinkState) core.Model {
 func (s *scorer) point(ls LinkState, i int) float64 {
 	c, ok := s.points[ls.Link]
 	if !ok {
-		m := s.linkModel(ls)
-		s.models[ls.Link] = m
-		n, t := float64(m.N), float64(m.T)
-		s.pairs[ls.Link] = (2*n - t - 1) * t / 2
-		c = make([]float64, len(rateGridPredict))
-		for j := range c {
-			c[j] = math.NaN()
-		}
-		s.points[ls.Link] = c
+		c = s.initLink(ls)
 	}
 	if math.IsNaN(c[i]) {
 		c[i] = s.models[ls.Link].RankingMetric(rateGridPredict[i])
 	}
 	return c[i]
+}
+
+// initLink fits the link's model and curve slots, adopting a compatible
+// cached curve when a CurveCache is attached — the adopted points slice
+// is shared with the cache, so gridpoints evaluated now stay evaluated
+// for the next Demand that reuses the entry.
+func (s *scorer) initLink(ls LinkState) []float64 {
+	if s.cache != nil {
+		if e, sig := s.cache.lookup(ls); e != nil {
+			s.models[ls.Link] = e.model
+			s.pairs[ls.Link] = e.pairs
+			s.points[ls.Link] = e.points
+			return e.points
+		} else {
+			m := s.linkModel(ls)
+			pts := s.installLink(ls.Link, m)
+			s.cache.store(ls.Link, ls.Flows, sig, m, pts, s.pairs[ls.Link])
+			return pts
+		}
+	}
+	return s.installLink(ls.Link, s.linkModel(ls))
+}
+
+// installLink records a freshly fitted model's curve slots.
+func (s *scorer) installLink(link string, m core.Model) []float64 {
+	s.models[link] = m
+	n, t := float64(m.N), float64(m.T)
+	s.pairs[link] = (2*n - t - 1) * t / 2
+	pts := make([]float64, len(rateGridPredict))
+	for j := range pts {
+		pts[j] = math.NaN()
+	}
+	s.points[link] = pts
+	return pts
 }
 
 // metricAt interpolates a link's swapped-pair metric at rate p, linearly

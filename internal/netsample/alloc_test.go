@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"flowrank/internal/dist"
 	"flowrank/internal/randx"
 	"flowrank/internal/tracegen"
 )
@@ -248,6 +249,29 @@ func TestCoordinatedImprovesOnItsStart(t *testing.T) {
 	}
 	if more.Predicted > base.Predicted*(1+1e-9) {
 		t.Errorf("more passes made the allocation worse: %g vs %g", more.Predicted, base.Predicted)
+	}
+}
+
+// TestWaterfillRejectsUnknownMonitor: a demand whose path names a monitor
+// the topology does not declare must error, not silently waterfill the
+// path against Budget 0 / rate 0.
+func TestWaterfillRejectsUnknownMonitor(t *testing.T) {
+	topo, err := NewTopology(
+		[]Switch{{ID: "a", Budget: 100}, {ID: "b", Budget: 100}},
+		[]Link{{From: "a", To: "b"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Demand{
+		Topo:  topo,
+		Paths: []PathStat{{Switches: []string{"ghost", "b"}, Flows: 5, Packets: 50}},
+		Links: []LinkState{{Link: "ghost>b", Flows: 5, Packets: 50, Dist: dist.ParetoWithMean(10, 1.5), Method: "true"}},
+		TopT:  2,
+	}
+	d.Workers = 1
+	if _, err := (GreedyWaterfill{}).Allocate(d); err == nil {
+		t.Error("waterfill accepted a path monitored by an undeclared switch")
 	}
 }
 

@@ -1,0 +1,400 @@
+package netsample
+
+import (
+	"math"
+	"testing"
+
+	"flowrank/internal/adaptive"
+	"flowrank/internal/dist"
+	"flowrank/internal/invert"
+	"flowrank/internal/tracegen"
+)
+
+// setFracBudgets gives every switch a budget equal to frac of its
+// offered load under the demand (floored at 1 packet).
+func setFracBudgets(t *testing.T, topo *Topology, d *Demand, frac float64) {
+	t.Helper()
+	offered := OfferedLoads(d)
+	budgets := make(map[string]float64, len(topo.Switches()))
+	for _, sw := range topo.Switches() {
+		b := frac * offered[sw.ID]
+		if b <= 0 {
+			b = 1
+		}
+		budgets[sw.ID] = b
+	}
+	if err := topo.SetBudgets(budgets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnsureViewTracksMutation pins the fingerprint invalidation: the
+// memoized view must follow a mutation of Demand.Paths instead of
+// serving the stale aggregate (the pre-fix behavior).
+func TestEnsureViewTracksMutation(t *testing.T) {
+	topo := FatTree(1000)
+	flows := workload(t, topo, 11)
+	d, err := TrueDemand(topo, flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := Monitors(d.Paths[0].Switches)[0]
+	before := OfferedLoads(d)[sw]
+	d.Paths[0].Packets += 5000
+	after := OfferedLoads(d)[sw]
+	if math.Abs(after-before-5000) > 1e-6 {
+		t.Fatalf("offered load served stale memo after mutation: before %g, after %g", before, after)
+	}
+}
+
+// TestCurveCacheInvalidation pins the per-link memo invalidation: after
+// a first allocation fills the cache, mutating exactly one link's size
+// law must re-evaluate exactly that link — every other link's curve is
+// adopted from the cache.
+func TestCurveCacheInvalidation(t *testing.T) {
+	topo := FatTree(1000)
+	flows := workload(t, topo, 12)
+	d, err := TrueDemand(topo, flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFracBudgets(t, topo, d, 0.05)
+	cache := NewCurveCache(0)
+	d.AttachCurves(cache)
+	if _, err := (Uniform{}).Allocate(d); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != len(d.Links) {
+		t.Fatalf("first fill: got %d hits, %d misses, want 0 hits, %d misses", hits, misses, len(d.Links))
+	}
+	if cache.Len() != len(d.Links) {
+		t.Fatalf("cache holds %d links, want %d", cache.Len(), len(d.Links))
+	}
+
+	// Same populations again (a fresh Demand, as a new bin would build):
+	// every link must hit.
+	d2, err := TrueDemand(topo, flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.AttachCurves(cache)
+	if _, err := (Uniform{}).Allocate(d2); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = cache.Stats()
+	if hits != len(d.Links) || misses != len(d.Links) {
+		t.Fatalf("unchanged bin: got %d hits, %d misses, want %d hits, %d misses",
+			hits, misses, len(d.Links), len(d.Links))
+	}
+
+	// Move one link's size law far beyond tolerance: exactly one miss.
+	d3, err := TrueDemand(topo, flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := d3.Links[0].Link
+	d3.Links[0].Dist = dist.ParetoWithMean(10*d3.Links[0].Dist.Mean(), 1.5)
+	d3.AttachCurves(cache)
+	if _, err := (Uniform{}).Allocate(d3); err != nil {
+		t.Fatal(err)
+	}
+	h3, m3 := cache.Stats()
+	if h3-hits != len(d.Links)-1 || m3-misses != 1 {
+		t.Fatalf("after mutating %s: got %d new hits, %d new misses, want %d and 1",
+			mut, h3-hits, m3-misses, len(d.Links)-1)
+	}
+}
+
+// TestRealizedBudgetWithinBound is the satellite property test: for
+// every allocator and budget level, each switch's realized sampled load
+// stays within the documented envelope of its budget — the budget binds
+// an expectation, so the slack is hash-partition skew (bounded here by
+// 30%) plus binomial sampling noise (4 standard deviations).
+func TestRealizedBudgetWithinBound(t *testing.T) {
+	topo := FatTree(1000)
+	flows := workload(t, topo, 13)
+	allocators := []Allocator{Uniform{}, GreedyWaterfill{}, Coordinated{Passes: 1}}
+	for _, frac := range []float64{0.01, 0.05} {
+		d, err := TrueDemand(topo, flows, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setFracBudgets(t, topo, d, frac)
+		for _, alloc := range allocators {
+			a, err := alloc.Allocate(d)
+			if err != nil {
+				t.Fatalf("%s at %g: %v", alloc.Name(), frac, err)
+			}
+			res, err := Simulate(topo, flows, a, 5, 3, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sw, used := range res.SampledPerSwitch {
+				b, ok := topo.Switch(sw)
+				if !ok {
+					t.Fatalf("unknown switch %q in result", sw)
+				}
+				bound := 1.3*b.Budget + 4*math.Sqrt(b.Budget)
+				if used > bound {
+					t.Errorf("%s at %g: switch %s sampled %.1f, budget %.1f (bound %.1f, ratio %.2f)",
+						alloc.Name(), frac, sw, used, b.Budget, bound, used/b.Budget)
+				}
+			}
+			if len(res.BudgetRatio) == 0 || res.MaxBudgetRatio <= 0 {
+				t.Fatalf("%s at %g: budget compliance not reported", alloc.Name(), frac)
+			}
+		}
+	}
+}
+
+// TestSizeAwareRatesRespectBudgets pins the size-aware re-rating: rates
+// re-derived from a bin's realized owned loads keep every switch's
+// realized expected load at or under budget when the traffic repeats —
+// only sampling noise remains.
+func TestSizeAwareRatesRespectBudgets(t *testing.T) {
+	topo := FatTree(1000)
+	flows := workload(t, topo, 14)
+	d, err := TrueDemand(topo, flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFracBudgets(t, topo, d, 0.02)
+	a, err := (Coordinated{Passes: 1}).Allocate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Rates = SizeAwareRates(topo, flows, a)
+	for sw, r := range a.Rates {
+		if !(r > 0 && r <= 1) {
+			t.Fatalf("switch %s rate %g outside (0, 1]", sw, r)
+		}
+	}
+	res, err := Simulate(topo, flows, a, 5, 3, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw, used := range res.SampledPerSwitch {
+		b, _ := topo.Switch(sw)
+		// The expectation is exactly on budget; allow 4 sd of binomial noise.
+		if bound := b.Budget + 4*math.Sqrt(b.Budget); used > bound {
+			t.Errorf("size-aware: switch %s sampled %.1f over bound %.1f (budget %.1f)",
+				sw, used, bound, b.Budget)
+		}
+	}
+}
+
+// controllerFor builds the shared controller of the dynamic-loop tests.
+func controllerFor(topo *Topology, cache *CurveCache, sizeAware bool) *Controller {
+	return &Controller{
+		Topo:      topo,
+		Alloc:     GreedyWaterfill{},
+		Estimator: invert.EM{},
+		ProbeRate: 0.1,
+		TopT:      5,
+		Runs:      2,
+		Seed:      21,
+		Workers:   1,
+		Curves:    cache,
+		SizeAware: sizeAware,
+	}
+}
+
+// dynamicBins generates the churn workload the controller tests run on.
+func dynamicBins(t *testing.T, topo *Topology, bins int) [][]RoutedFlow {
+	t.Helper()
+	base := smallConfig(15)
+	out, err := GenerateDynamicWorkload(topo, tracegen.Churn(base, bins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestControllerRunDeterministicAndCached runs the dynamic control loop
+// over a churning workload twice and pins: identical results for
+// identical seeds, a cold first bin (all misses), and real curve reuse
+// in the following bins.
+func TestControllerRunDeterministicAndCached(t *testing.T) {
+	topo := FatTree(1000)
+	bins := dynamicBins(t, topo, 3)
+	d0, err := TrueDemand(topo, bins[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFracBudgets(t, topo, d0, 0.05)
+
+	run := func() []*BinResult {
+		c := controllerFor(topo, NewCurveCache(0.25), false)
+		out, err := c.Run(bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(bins) {
+		t.Fatalf("got %d bin results, want %d", len(r1), len(bins))
+	}
+	for i := range r1 {
+		if r1[i].Bin != i {
+			t.Fatalf("bin %d labeled %d", i, r1[i].Bin)
+		}
+		if r1[i].Result.RankFrac != r2[i].Result.RankFrac ||
+			r1[i].Result.MaxBudgetRatio != r2[i].Result.MaxBudgetRatio {
+			t.Fatalf("bin %d not deterministic: %+v vs %+v", i, r1[i].Result, r2[i].Result)
+		}
+		if r1[i].Result.MaxBudgetRatio <= 0 {
+			t.Fatalf("bin %d reports no budget compliance", i)
+		}
+	}
+	if r1[0].CurveHits != 0 || r1[0].CurveMisses == 0 {
+		t.Fatalf("first bin should be all cold: %d hits, %d misses", r1[0].CurveHits, r1[0].CurveMisses)
+	}
+	var laterHits int
+	for _, br := range r1[1:] {
+		laterHits += br.CurveHits
+	}
+	if laterHits == 0 {
+		t.Fatal("no curve reuse across bins: the cross-bin cache never hit")
+	}
+}
+
+// TestControllerQuietBinReusesAllocation pins the quiet-bin contract: a
+// bin with nothing to observe keeps the previous allocation instead of
+// failing the loop, while a quiet first bin (no history) errors.
+func TestControllerQuietBinReusesAllocation(t *testing.T) {
+	topo := FatTree(1000)
+	bins := dynamicBins(t, topo, 1)
+	d0, err := TrueDemand(topo, bins[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFracBudgets(t, topo, d0, 0.05)
+
+	c := controllerFor(topo, nil, false)
+	if _, err := c.Step(nil); err == nil {
+		t.Fatal("quiet first bin should error: no prior allocation to reuse")
+	}
+	br0, err := c.Step(bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	br1, err := c.Step(nil)
+	if err != nil {
+		t.Fatalf("quiet bin after a good one should reuse, got %v", err)
+	}
+	if br1.Allocation != br0.Allocation {
+		t.Fatal("quiet bin built a fresh allocation instead of reusing the previous one")
+	}
+}
+
+// TestControllerSizeAwareImprovesCompliance compares the dynamic loop
+// with and without size-aware re-rating on the same churning workload:
+// re-deriving rates from realized loads must not worsen the worst
+// realized-vs-budget ratio, and must keep it within the documented
+// envelope (previous-bin compliance is exact; one bin of churn plus
+// noise is the only slack).
+func TestControllerSizeAwareImprovesCompliance(t *testing.T) {
+	topo := FatTree(1000)
+	bins := dynamicBins(t, topo, 3)
+	d0, err := TrueDemand(topo, bins[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFracBudgets(t, topo, d0, 0.02)
+
+	worst := func(sizeAware bool) float64 {
+		c := controllerFor(topo, NewCurveCache(0.25), sizeAware)
+		out, err := c.Run(bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := 0.0
+		// The first bin has no history, so size-aware rates only differ
+		// from the second bin on.
+		for _, br := range out[1:] {
+			if br.Result.MaxBudgetRatio > w {
+				w = br.Result.MaxBudgetRatio
+			}
+		}
+		return w
+	}
+	plain, aware := worst(false), worst(true)
+	if aware > plain*1.05 {
+		t.Errorf("size-aware rates worsened budget compliance: %.3f vs %.3f", aware, plain)
+	}
+	t.Logf("worst realized/budget ratio: plain %.3f, size-aware %.3f", plain, aware)
+}
+
+// TestControllerAdaptClamp pins the unification with the single-monitor
+// loop: with generous budgets (budget rate 1) and a loose adaptive
+// target, every monitor's rate drops to the adaptive recommendation —
+// never above the budget rate, always inside the adaptive clamps.
+func TestControllerAdaptClamp(t *testing.T) {
+	topo := FatTree(1000)
+	bins := dynamicBins(t, topo, 1)
+	d0, err := TrueDemand(topo, bins[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets far above the offered load: budget rates are all 1.
+	setFracBudgets(t, topo, d0, 10)
+
+	base := controllerFor(topo, nil, false)
+	br, err := base.Step(bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped := controllerFor(topo, nil, false)
+	// The adaptive target is a swapped-pair count; a large one is a loose
+	// quality bar, so the recommended rate drops well below the budget
+	// rate of 1.
+	clamped.Adapt = &adaptive.Controller{Target: 200, TopT: 5, MinRate: 1e-3, Workers: 1}
+	brA, err := clamped.Step(bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := 0
+	for sw, r := range brA.Allocation.Rates {
+		r0 := br.Allocation.Rates[sw]
+		if r > r0+1e-12 {
+			t.Errorf("adapt raised switch %s rate: %g > %g", sw, r, r0)
+		}
+		if r < 1e-3-1e-12 {
+			t.Errorf("adapt broke MinRate clamp on %s: %g", sw, r)
+		}
+		if r < r0 {
+			lower++
+		}
+	}
+	if lower == 0 {
+		t.Error("loose adaptive target never clamped any monitor below its budget rate")
+	}
+}
+
+// TestControllerValidation exercises the configuration errors.
+func TestControllerValidation(t *testing.T) {
+	topo := FatTree(1000)
+	good := func() *Controller { return controllerFor(topo, nil, false) }
+	cases := []struct {
+		name   string
+		mutate func(*Controller)
+	}{
+		{"nil topology", func(c *Controller) { c.Topo = nil }},
+		{"nil allocator", func(c *Controller) { c.Alloc = nil }},
+		{"nil estimator", func(c *Controller) { c.Estimator = nil }},
+		{"bad probe rate", func(c *Controller) { c.ProbeRate = 1.5 }},
+		{"bad top-t", func(c *Controller) { c.TopT = 0 }},
+	}
+	for _, tc := range cases {
+		c := good()
+		tc.mutate(c)
+		if _, err := c.Step(nil); err == nil {
+			t.Errorf("%s: Step accepted an invalid controller", tc.name)
+		}
+	}
+	if out, err := good().Run(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty Run: got %v, %v", out, err)
+	}
+}

@@ -1,0 +1,165 @@
+package netsample
+
+import (
+	"math"
+
+	"flowrank/internal/core"
+	"flowrank/internal/dist"
+)
+
+// sigProbes is the fixed size ladder a distribution's signature samples
+// the CCDF on — body through deep tail, matching the range the scorer's
+// quality curves are sensitive to.
+var sigProbes = []float64{1, 2, 5, 10, 30, 100, 300, 1e3, 1e4, 1e5}
+
+// distSig summarizes a size law for change detection: its mean followed
+// by the CCDF at the fixed probe ladder. Two laws with signatures equal
+// within the cache tolerance are indistinguishable to the scorer's
+// rate-quality curves at that tolerance.
+func distSig(d dist.SizeDist) []float64 {
+	sig := make([]float64, 0, len(sigProbes)+1)
+	sig = append(sig, d.Mean())
+	for _, x := range sigProbes {
+		sig = append(sig, d.CCDF(x))
+	}
+	return sig
+}
+
+// curveEntry is one link's memoized fitted population: the model, its
+// countable-pair total, and the (lazily filled) metric values on
+// rateGridPredict. points is shared with every scorer that adopts the
+// entry, so gridpoints evaluated in one bin stay evaluated in the next.
+type curveEntry struct {
+	flows  float64
+	sig    []float64
+	model  core.Model
+	points []float64
+	pairs  float64
+}
+
+// curveCacheWays bounds how many distinct fitted populations the cache
+// keeps per link, most recently used first. A handful covers the
+// populations a link oscillates between (and a budget sweep revisiting
+// the same bins); beyond that the oldest is evicted.
+const curveCacheWays = 8
+
+// CurveCache carries the scorer's per-link rate-quality curves across
+// Demands. The dynamic control plane re-runs Observe every measurement
+// bin, and most links' fitted populations barely move bin to bin — so
+// their model curves, the expensive part of allocation, are reusable.
+//
+// Entries are keyed by link ID and stamped with the fitted population
+// they were evaluated for (inverted flow count plus the distribution's
+// signature); a lookup hits only when both are within Tol of the new
+// bin's inversion. Invalidation is therefore per link: only links whose
+// inverted dist or flow count actually moved re-pay the model, while
+// today's single-Demand memo would either rebuild everything or —
+// worse — silently keep curves for a mutated Demand. Each link retains
+// up to curveCacheWays recent populations, so a link that drifts and
+// returns (or a sweep replaying the same bins) still hits.
+//
+// The cache is deliberately not safe for concurrent use: the control
+// loop is sequential, and the scorer already bounds model parallelism
+// internally via Demand.Workers.
+type CurveCache struct {
+	// Tol is the relative tolerance under which a link's fitted
+	// population counts as unchanged (0 = default 0.05): the flow count
+	// must move less than Tol relatively, and every signature component
+	// less than Tol relative to its magnitude (with a small absolute
+	// floor for near-zero tail probabilities).
+	Tol     float64
+	entries map[string][]*curveEntry
+	hits    int
+	misses  int
+}
+
+// NewCurveCache returns a cache with the given relative tolerance
+// (0 = default 0.05).
+func NewCurveCache(tol float64) *CurveCache {
+	return &CurveCache{Tol: tol, entries: map[string][]*curveEntry{}}
+}
+
+// tol resolves the tolerance.
+func (c *CurveCache) tol() float64 {
+	if c.Tol <= 0 {
+		return 0.05
+	}
+	return c.Tol
+}
+
+// Stats reports how many link initializations hit a reusable curve and
+// how many had to re-evaluate (because the link was new or its
+// population moved beyond tolerance).
+func (c *CurveCache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Len returns the number of cached links.
+func (c *CurveCache) Len() int { return len(c.entries) }
+
+// lookup returns the reusable entry for the link, or nil plus the
+// computed signature (for the subsequent store) when the link is new or
+// every retained population is beyond tolerance. A hit moves the entry
+// to the front of the link's recency list.
+func (c *CurveCache) lookup(ls LinkState) (*curveEntry, []float64) {
+	if c.entries == nil {
+		c.entries = map[string][]*curveEntry{}
+	}
+	sig := distSig(ls.Dist)
+	list := c.entries[ls.Link]
+	for i, e := range list {
+		if c.compatible(e, ls.Flows, sig) {
+			c.hits++
+			copy(list[1:i+1], list[:i])
+			list[0] = e
+			return e, sig
+		}
+	}
+	c.misses++
+	return nil, sig
+}
+
+// compatible reports whether the entry's fitted population matches the
+// new observation within tolerance.
+func (c *CurveCache) compatible(e *curveEntry, flows float64, sig []float64) bool {
+	tol := c.tol()
+	if len(sig) != len(e.sig) {
+		return false
+	}
+	if relDiff(e.flows, flows, 1) > tol {
+		return false
+	}
+	for i := range sig {
+		// Component 0 is the mean (magnitude >= 1 packet); the rest are
+		// CCDF values, where a 1e-3 absolute floor keeps deep-tail noise
+		// from invalidating an otherwise unchanged law.
+		floor := 1.0
+		if i > 0 {
+			floor = 1e-3
+		}
+		if relDiff(e.sig[i], sig[i], floor) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// relDiff is |a-b| relative to their magnitude with an absolute floor.
+func relDiff(a, b, floor float64) float64 {
+	if a == b {
+		return 0 // covers equal infinities and exact reuse
+	}
+	return math.Abs(a-b) / math.Max(math.Max(math.Abs(a), math.Abs(b)), floor)
+}
+
+// store prepends a freshly fitted population to the link's recency list,
+// evicting the oldest beyond curveCacheWays.
+func (c *CurveCache) store(link string, flows float64, sig []float64, m core.Model, points []float64, pairs float64) {
+	if c.entries == nil {
+		c.entries = map[string][]*curveEntry{}
+	}
+	e := &curveEntry{flows: flows, sig: sig, model: m, points: points, pairs: pairs}
+	list := append([]*curveEntry{e}, c.entries[link]...)
+	if len(list) > curveCacheWays {
+		list = list[:curveCacheWays]
+	}
+	c.entries[link] = list
+}

@@ -2,6 +2,7 @@ package netsample
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"flowrank/internal/dist"
@@ -60,9 +61,68 @@ type Demand struct {
 	// view and score memoize the canonical read model and the per-link
 	// model quality curves: every allocator run against the same Demand
 	// shares them, so comparing three allocators pays the model cost
-	// once.
-	view  *demandView
-	score *scorer
+	// once. viewFP fingerprints the Paths/Links the memo was built from,
+	// so mutating the demand invalidates it instead of silently serving
+	// stale curves; curves optionally shares fitted link curves across
+	// Demands (the dynamic control plane's cross-bin reuse).
+	view   *demandView
+	score  *scorer
+	viewFP uint64
+	curves *CurveCache
+}
+
+// AttachCurves shares a cross-Demand curve cache with this demand's
+// scorer: links whose fitted population matches a cached entry within the
+// cache tolerance reuse its quality curve instead of re-evaluating the
+// model. Attach before the first allocator call; attaching drops any
+// memoized view so the scorer is rebuilt against the cache.
+func (d *Demand) AttachCurves(c *CurveCache) {
+	d.curves = c
+	d.view = nil
+	d.score = nil
+}
+
+// fingerprint hashes everything the memoized view and scorer were built
+// from: the topology identity, top-t, every path aggregate and every
+// link's population signature. ensureView compares it on each use, so a
+// caller mutating Demand.Paths or Demand.Links gets a rebuilt view
+// instead of silently stale curves.
+func (d *Demand) fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		mix(uint64(len(s)))
+	}
+	mix(uint64(d.TopT))
+	mix(uint64(len(d.Paths)))
+	for _, p := range d.Paths {
+		mixStr(p.Key())
+		mix(uint64(p.Flows))
+		mix(math.Float64bits(p.Packets))
+	}
+	mix(uint64(len(d.Links)))
+	for _, ls := range d.Links {
+		mixStr(ls.Link)
+		mixStr(ls.Method)
+		mix(math.Float64bits(ls.Flows))
+		mix(math.Float64bits(ls.Packets))
+		if ls.Dist != nil {
+			for _, v := range distSig(ls.Dist) {
+				mix(math.Float64bits(v))
+			}
+		}
+	}
+	return h
 }
 
 // pathStats groups a routed workload by path, in first-appearance order.

@@ -288,6 +288,122 @@ func TestHashOwnershipFollowsShares(t *testing.T) {
 	}
 }
 
+// TestGenerateDynamicWorkload: the churn preset's routed bins are
+// deterministic, individually valid, and actually drift — the per-path
+// packet shares move bin to bin, which is the whole point of re-running
+// the allocation.
+func TestGenerateDynamicWorkload(t *testing.T) {
+	topo := FatTree(1000)
+	dc := tracegen.Churn(smallConfig(81), 4)
+	dc.Base.Duration = 5
+	bins, err := GenerateDynamicWorkload(topo, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != dc.Bins {
+		t.Fatalf("%d bins, want %d", len(bins), dc.Bins)
+	}
+	again, err := GenerateDynamicWorkload(topo, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bins, again) {
+		t.Fatal("dynamic workload not deterministic")
+	}
+	// Per-path packet shares per bin.
+	shares := make([]map[string]float64, len(bins))
+	for b, flows := range bins {
+		if len(flows) < 200 {
+			t.Fatalf("bin %d degenerate: %d flows", b, len(flows))
+		}
+		if err := validateWorkload(topo, flows); err != nil {
+			t.Fatalf("bin %d: %v", b, err)
+		}
+		total := 0.0
+		sh := map[string]float64{}
+		for _, f := range flows {
+			p := float64(f.Record.Packets)
+			sh[PathKey(f.Path)] += p
+			total += p
+		}
+		for k := range sh {
+			sh[k] /= total
+		}
+		shares[b] = sh
+	}
+	// Churn must move the demand: the L1 distance between consecutive
+	// bins' path-share vectors is macroscopic.
+	for b := 1; b < len(shares); b++ {
+		var l1 float64
+		for k, v := range shares[b] {
+			l1 += math.Abs(v - shares[b-1][k])
+		}
+		for k, v := range shares[b-1] {
+			if _, ok := shares[b][k]; !ok {
+				l1 += v
+			}
+		}
+		if l1 < 0.1 {
+			t.Errorf("bins %d->%d: path demand barely moved (L1 %.3f)", b-1, b, l1)
+		}
+	}
+	// Invalid configurations are rejected.
+	bad := dc
+	bad.Bins = 0
+	if _, err := GenerateDynamicWorkload(topo, bad); err == nil {
+		t.Error("zero-bin dynamic workload accepted")
+	}
+}
+
+// TestOwnerOfFallsToPositiveShare is the regression test for the hash-
+// owner fallthrough: when float accumulation leaves the shares summing to
+// 1-eps and the flow's hash point lands in the lost [1-eps, 1) sliver,
+// the owner must be the last positive-share monitor in path order — never
+// a zero-share monitor, whose budgeted rate assumed it owns nothing.
+func TestOwnerOfFallsToPositiveShare(t *testing.T) {
+	const eps = 1e-3
+	// Find a flow key hashing into the sliver the shares fail to cover.
+	var f RoutedFlow
+	f.Path = []string{"a", "b", "c", "d"}
+	found := false
+	for i := 0; i < 2_000_000; i++ {
+		f.Record.Key.SrcPort = uint16(i)
+		f.Record.Key.DstPort = uint16(i >> 16)
+		f.Record.Key.Src[0] = byte(i >> 24)
+		if hashUnit(f.Record.Key) >= 1-eps/2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key hashing into the top sliver")
+	}
+	// Monitors a, b, c: a owns nothing, shares sum to 1-eps.
+	shares := map[string]float64{"a": 0, "b": 0.6, "c": 0.4 - eps}
+	if got := ownerOf(f, shares); got != "c" {
+		t.Errorf("sliver flow owned by %q, want last positive-share monitor \"c\"", got)
+	}
+	// All-zero shares keep the documented first-monitor fallback.
+	if got := ownerOf(f, map[string]float64{}); got != "a" {
+		t.Errorf("zero-share fallback owner %q, want \"a\"", got)
+	}
+	// Interval lookups are untouched: a point inside b's range stays b's.
+	var g RoutedFlow
+	g.Path = f.Path
+	for i := 0; i < 2_000_000; i++ {
+		g.Record.Key.SrcPort = uint16(i)
+		g.Record.Key.DstPort = uint16(i >> 16)
+		g.Record.Key.Src[0] = byte(i >> 24)
+		u := hashUnit(g.Record.Key)
+		if u > 0.1 && u < 0.5 {
+			break
+		}
+	}
+	if got := ownerOf(g, shares); got != "b" {
+		t.Errorf("mid-range flow owned by %q, want \"b\"", got)
+	}
+}
+
 func TestTrueDemandMatchesWorkload(t *testing.T) {
 	topo := FatTree(1000)
 	flows := workload(t, topo, 61)

@@ -25,6 +25,14 @@ type Result struct {
 	// SampledPerSwitch is the mean number of sampled packets per switch
 	// per run — the measured budget use.
 	SampledPerSwitch map[string]float64
+	// BudgetRatio is each switch's realized budget compliance: mean
+	// sampled packets per run divided by the switch's budget (1 = exactly
+	// on budget). MaxBudgetRatio is the worst switch's ratio — the
+	// realized-vs-budget spread the dynamic control plane tracks; budgets
+	// bind expectations, so a ratio above 1 measures hash-partition skew
+	// plus sampling noise, and size-aware rates exist to shrink it.
+	BudgetRatio    map[string]float64
+	MaxBudgetRatio float64
 	// Runs is the number of independent sampling runs averaged.
 	Runs int
 }
@@ -47,6 +55,26 @@ const estScale = 1 << 20
 // The workload's flow order, the allocation, and the seed fully determine
 // the result.
 func Simulate(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int, seed uint64) (*Result, error) {
+	return simulate(topo, flows, a, topT, runs, seed, false)
+}
+
+// SimulateBudgeted is Simulate with every switch's budget enforced as a
+// hard per-run sampling quota: once a switch has kept its budget's worth
+// of packets in a run, further samples at that switch are dropped —
+// flows are charged in slice order (the workload generators emit flows
+// in start-time order), so a switch whose allocation oversubscribes its
+// budget exhausts the quota partway through the bin and truncates or
+// misses everything after, exactly the failure a stale static allocation
+// produces on a switch whose load grew. Under enforcement every
+// BudgetRatio is at most ~1 (a quota can overshoot by at most the last
+// flow's samples), so comparing allocations with SimulateBudgeted is
+// budget-fair: nobody gets to buy ranking quality with packets its
+// budget does not cover.
+func SimulateBudgeted(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int, seed uint64) (*Result, error) {
+	return simulate(topo, flows, a, topT, runs, seed, true)
+}
+
+func simulate(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int, seed uint64, enforce bool) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("netsample: nil allocation")
 	}
@@ -111,6 +139,13 @@ func Simulate(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int,
 	var topkCells int
 	for run := 0; run < runs; run++ {
 		g := randx.New(seed).Derive(uint64(run) + 1)
+		var quota map[string]float64
+		if enforce {
+			quota = make(map[string]float64, len(topo.Switches()))
+			for _, sw := range topo.Switches() {
+				quota[sw.ID] = sw.Budget
+			}
+		}
 		for i, f := range flows {
 			pkts := f.Record.Packets
 			for _, sw := range Monitors(f.Path) {
@@ -119,6 +154,12 @@ func Simulate(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int,
 				}
 				rate := a.Rates[sw]
 				k := g.Binomial(pkts, rate)
+				if enforce {
+					if rem := quota[sw]; float64(k) > rem {
+						k = int(rem)
+					}
+					quota[sw] -= float64(k)
+				}
 				res.SampledPerSwitch[sw] += float64(k)
 				if sw == owners[i] {
 					if rate > 0 {
@@ -153,22 +194,45 @@ func Simulate(topo *Topology, flows []RoutedFlow, a *Allocation, topT, runs int,
 	for sw := range res.SampledPerSwitch {
 		res.SampledPerSwitch[sw] /= float64(runs)
 	}
+	res.BudgetRatio = make(map[string]float64, len(res.SampledPerSwitch))
+	for sw, used := range res.SampledPerSwitch {
+		b, ok := topo.Switch(sw)
+		if !ok || !(b.Budget > 0) {
+			continue
+		}
+		ratio := used / b.Budget
+		res.BudgetRatio[sw] = ratio
+		if ratio > res.MaxBudgetRatio {
+			res.MaxBudgetRatio = ratio
+		}
+	}
 	return res, nil
 }
 
 // ownerOf resolves a flow's hash owner among its path's monitors: the
 // monitor whose cumulative share interval contains the flow's hash point,
-// walking monitors in path order. With no or zero shares the first
-// monitor owns the flow.
+// walking monitors in path order. Shares sum to 1 only up to float
+// accumulation error, so a hash point can land just past the last
+// interval; such a flow belongs to the last positive-share monitor —
+// the one whose interval the lost mass was rounded out of — never to a
+// zero-share monitor, whose rate was budgeted for no owned load at all.
+// With no or zero shares the first monitor owns the flow.
 func ownerOf(f RoutedFlow, shares map[string]float64) string {
 	monitors := Monitors(f.Path)
 	u := hashUnit(f.Record.Key)
 	var cum float64
+	last := ""
 	for _, sw := range monitors {
+		if shares[sw] > 0 {
+			last = sw
+		}
 		cum += shares[sw]
 		if u < cum {
 			return sw
 		}
+	}
+	if last != "" {
+		return last
 	}
 	return monitors[0]
 }

@@ -2,6 +2,7 @@ package netsample
 
 import (
 	"fmt"
+	"sort"
 
 	"flowrank/internal/flow"
 	"flowrank/internal/randx"
@@ -70,6 +71,69 @@ func GenerateWorkload(topo *Topology, cfg tracegen.Config) ([]RoutedFlow, error)
 		return nil, err
 	}
 	return out, nil
+}
+
+// GenerateDynamicWorkload synthesizes one routed workload per bin of the
+// dynamic configuration: bin b's flows arrive per dc.BinConfig(b) and are
+// routed between edge-switch pairs drawn proportionally to the bin's
+// PairWeights — the per-path demand the churn/diurnal presets drift bin
+// to bin. Each bin is reproducible from (topology, dc, bin) alone, and
+// routes are a pure function of the endpoint pair.
+func GenerateDynamicWorkload(topo *Topology, dc tracegen.DynamicConfig) ([][]RoutedFlow, error) {
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	edges := topo.EdgeSwitches()
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("netsample: topology needs at least 2 edge switches, have %d", len(edges))
+	}
+	n := len(edges)
+	npairs := n * (n - 1)
+	routes := make(map[int][]string, npairs)
+	bins := make([][]RoutedFlow, dc.Bins)
+	for b := 0; b < dc.Bins; b++ {
+		cfg := dc.BinConfig(b)
+		weights, err := dc.PairWeights(b, npairs)
+		if err != nil {
+			return nil, err
+		}
+		cum := make([]float64, npairs)
+		total := 0.0
+		for i, w := range weights {
+			total += w
+			cum[i] = total
+		}
+		endpoints := randx.New(cfg.Seed).Derive(100)
+		var out []RoutedFlow
+		err = tracegen.GenerateFunc(cfg, func(r flow.Record) error {
+			u := endpoints.Float64() * total
+			pi := sort.Search(npairs, func(i int) bool { return cum[i] > u })
+			if pi == npairs {
+				pi = npairs - 1 // u == total, a measure-zero edge
+			}
+			si := pi / (n - 1)
+			di := pi % (n - 1)
+			if di >= si {
+				di++ // pair index skips the diagonal
+			}
+			path, ok := routes[pi]
+			if !ok {
+				var rerr error
+				path, rerr = topo.Route(edges[si], edges[di])
+				if rerr != nil {
+					return rerr
+				}
+				routes[pi] = path
+			}
+			out = append(out, RoutedFlow{Record: r, Path: path})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bins[b] = out
+	}
+	return bins, nil
 }
 
 // hashUnit maps a flow key to a deterministic point in [0, 1) — the

@@ -1,0 +1,190 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+
+	"flowrank/internal/randx"
+)
+
+// Preset names a dynamic workload's drift law.
+type Preset string
+
+const (
+	// PresetChurn re-draws a random fraction of the demand weights every
+	// bin from a heavy-tailed law: the aggregate intensity stays steady
+	// while the hot endpoint pairs — and with them the per-path demand —
+	// move bin to bin. This is the adversarial case for a static
+	// allocation: the paths it concentrated its budget on stop being the
+	// ones that matter.
+	PresetChurn Preset = "churn"
+	// PresetDiurnal modulates every demand weight and the aggregate
+	// arrival rate sinusoidally, each pair with its own phase — the
+	// classical day/night traffic swing. Drift is smooth and
+	// predictable-in-hindsight, the friendly case for re-allocation.
+	PresetDiurnal Preset = "diurnal"
+)
+
+// DynamicConfig sequences a base workload over consecutive measurement
+// bins whose demand drifts bin to bin. Base is the per-bin template
+// (Base.Duration is one bin's length); the preset decides how the per-bin
+// flow arrival intensity and the endpoint-pair demand weights evolve.
+// Everything is a pure function of (Base.Seed, bin), so a dynamic
+// workload is exactly reproducible and any bin can be regenerated alone.
+type DynamicConfig struct {
+	// Base is the single-bin template; its Duration is the bin length
+	// and its Seed the root of every per-bin stream.
+	Base Config
+	// Bins is the number of consecutive measurement bins.
+	Bins int
+	// Preset selects the drift law.
+	Preset Preset
+	// ChurnFrac is the per-bin probability that each demand weight
+	// re-draws (churn preset; 0 = default 0.4).
+	ChurnFrac float64
+	// PeriodBins is the diurnal cycle length in bins (diurnal preset;
+	// 0 = default 8).
+	PeriodBins float64
+	// Amplitude is the diurnal swing in (0, 1) (diurnal preset;
+	// 0 = default 0.8).
+	Amplitude float64
+}
+
+// Churn returns the churn preset over the base workload: steady aggregate
+// intensity, heavy-tailed demand weights of which a fraction re-draw
+// every bin.
+func Churn(base Config, bins int) DynamicConfig {
+	return DynamicConfig{Base: base, Bins: bins, Preset: PresetChurn}
+}
+
+// Diurnal returns the diurnal preset over the base workload: sinusoidal
+// aggregate intensity and per-pair weights with independent phases.
+func Diurnal(base Config, bins int) DynamicConfig {
+	return DynamicConfig{Base: base, Bins: bins, Preset: PresetDiurnal}
+}
+
+// churnFrac resolves the churn re-draw probability.
+func (c DynamicConfig) churnFrac() float64 {
+	if c.ChurnFrac == 0 {
+		return 0.4
+	}
+	return c.ChurnFrac
+}
+
+// periodBins resolves the diurnal period.
+func (c DynamicConfig) periodBins() float64 {
+	if c.PeriodBins == 0 {
+		return 8
+	}
+	return c.PeriodBins
+}
+
+// amplitude resolves the diurnal swing.
+func (c DynamicConfig) amplitude() float64 {
+	if c.Amplitude == 0 {
+		return 0.8
+	}
+	return c.Amplitude
+}
+
+// Validate checks the dynamic configuration (including the base template).
+func (c DynamicConfig) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.Bins < 1 {
+		return fmt.Errorf("tracegen: dynamic workload needs >= 1 bin, have %d", c.Bins)
+	}
+	switch c.Preset {
+	case PresetChurn:
+		if f := c.churnFrac(); !(f > 0 && f <= 1) {
+			return fmt.Errorf("tracegen: churn fraction %g outside (0, 1]", f)
+		}
+	case PresetDiurnal:
+		if p := c.periodBins(); !(p > 0) {
+			return fmt.Errorf("tracegen: diurnal period %g bins must be positive", p)
+		}
+		if a := c.amplitude(); !(a > 0 && a < 1) {
+			return fmt.Errorf("tracegen: diurnal amplitude %g outside (0, 1)", a)
+		}
+	default:
+		return fmt.Errorf("tracegen: unknown dynamic preset %q", c.Preset)
+	}
+	return nil
+}
+
+// BinConfig returns bin b's trace configuration: the base template with a
+// bin-derived seed (so flow identities and sizes are fresh every bin) and
+// the preset's intensity profile applied to the arrival rate.
+func (c DynamicConfig) BinConfig(bin int) Config {
+	cfg := c.Base
+	cfg.Name = fmt.Sprintf("%s-%s-bin%d", c.Base.Name, c.Preset, bin)
+	cfg.Seed = mix64(c.Base.Seed, uint64(bin)+1)
+	if c.Preset == PresetDiurnal {
+		cfg.ArrivalRate *= 1 + c.amplitude()*math.Sin(2*math.Pi*float64(bin)/c.periodBins())
+	}
+	return cfg
+}
+
+// PairWeights returns the relative demand weights of n endpoint pairs in
+// bin b — the per-path demand the presets drift. Weights are positive and
+// unnormalized; callers draw pairs proportionally. The churn preset walks
+// the weight process forward from bin 0, so weight histories are
+// consistent across calls: PairWeights(b, n) agrees with every earlier
+// bin's evolution.
+func (c DynamicConfig) PairWeights(bin, n int) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if bin < 0 || bin >= c.Bins {
+		return nil, fmt.Errorf("tracegen: bin %d outside [0, %d)", bin, c.Bins)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tracegen: need >= 1 pair, have %d", n)
+	}
+	w := make([]float64, n)
+	switch c.Preset {
+	case PresetChurn:
+		// Bin 0: iid heavy-tailed weights (Pareto shape 1.1 — a few hot
+		// pairs dominate, as real traffic matrices do). Bin b: each weight
+		// re-draws with probability ChurnFrac from bin b's stream.
+		g := randx.New(mix64(c.Base.Seed, 0x9a7c)).Derive(0)
+		for i := range w {
+			w[i] = g.Pareto(1, 1.1)
+		}
+		frac := c.churnFrac()
+		for b := 1; b <= bin; b++ {
+			gb := randx.New(mix64(c.Base.Seed, 0x9a7c)).Derive(uint64(b))
+			for i := range w {
+				// Two draws per pair regardless of the churn decision, so
+				// one pair's re-draw never shifts another pair's stream.
+				redraw := gb.Bernoulli(frac)
+				v := gb.Pareto(1, 1.1)
+				if redraw {
+					w[i] = v
+				}
+			}
+		}
+	case PresetDiurnal:
+		// Per-pair phases are bin-independent; only the modulation moves.
+		g := randx.New(mix64(c.Base.Seed, 0xd1a5)).Derive(0)
+		a, period := c.amplitude(), c.periodBins()
+		for i := range w {
+			phase := g.Float64()
+			w[i] = 1 + a*math.Sin(2*math.Pi*(float64(bin)/period+phase))
+		}
+	}
+	return w, nil
+}
+
+// mix64 folds (seed, salt) into one well-spread 64-bit stream id
+// (splitmix64 finalizer).
+func mix64(seed, salt uint64) uint64 {
+	x := seed + 0x9e3779b97f4a7c15*(salt+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,167 @@
+package tracegen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func dynBase(seed uint64) Config {
+	cfg := SprintFiveTuple(5, seed)
+	cfg.ArrivalRate = 200
+	return cfg
+}
+
+func TestDynamicValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		dc   DynamicConfig
+	}{
+		{"zero bins", DynamicConfig{Base: dynBase(1), Bins: 0, Preset: PresetChurn}},
+		{"unknown preset", DynamicConfig{Base: dynBase(1), Bins: 4, Preset: "weekly"}},
+		{"empty preset", DynamicConfig{Base: dynBase(1), Bins: 4}},
+		{"churn frac above 1", DynamicConfig{Base: dynBase(1), Bins: 4, Preset: PresetChurn, ChurnFrac: 1.5}},
+		{"negative period", DynamicConfig{Base: dynBase(1), Bins: 4, Preset: PresetDiurnal, PeriodBins: -2}},
+		{"amplitude 1", DynamicConfig{Base: dynBase(1), Bins: 4, Preset: PresetDiurnal, Amplitude: 1}},
+		{"bad base", DynamicConfig{Base: Config{}, Bins: 4, Preset: PresetChurn}},
+	}
+	for _, c := range cases {
+		if err := c.dc.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := Churn(dynBase(1), 6).Validate(); err != nil {
+		t.Errorf("churn preset rejected: %v", err)
+	}
+	if err := Diurnal(dynBase(1), 6).Validate(); err != nil {
+		t.Errorf("diurnal preset rejected: %v", err)
+	}
+}
+
+func TestDynamicBinConfigs(t *testing.T) {
+	churn := Churn(dynBase(7), 6)
+	seeds := map[uint64]bool{}
+	for b := 0; b < churn.Bins; b++ {
+		cfg := churn.BinConfig(b)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("bin %d config invalid: %v", b, err)
+		}
+		if seeds[cfg.Seed] {
+			t.Errorf("bin %d reuses an earlier bin's seed %d", b, cfg.Seed)
+		}
+		seeds[cfg.Seed] = true
+		if cfg.ArrivalRate != churn.Base.ArrivalRate {
+			t.Errorf("churn bin %d arrival rate %g drifted (aggregate must stay steady)", b, cfg.ArrivalRate)
+		}
+	}
+	// Diurnal intensity swings around the base rate and returns after one
+	// period.
+	diurnal := Diurnal(dynBase(7), 16)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for b := 0; b < diurnal.Bins; b++ {
+		r := diurnal.BinConfig(b).ArrivalRate
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	base := diurnal.Base.ArrivalRate
+	if !(lo < 0.5*base && hi > 1.5*base) {
+		t.Errorf("diurnal intensity swing [%g, %g] too flat around base %g", lo, hi, base)
+	}
+	r0 := diurnal.BinConfig(0).ArrivalRate
+	r8 := diurnal.BinConfig(8).ArrivalRate
+	if math.Abs(r0-r8) > 1e-9*base {
+		t.Errorf("diurnal intensity not periodic: bin 0 rate %g, bin 8 rate %g", r0, r8)
+	}
+}
+
+func TestChurnPairWeights(t *testing.T) {
+	dc := Churn(dynBase(11), 8)
+	const n = 600
+	w0, err := dc.PairWeights(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := dc.PairWeights(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w0, again) {
+		t.Fatal("pair weights not deterministic")
+	}
+	for i, w := range w0 {
+		if !(w > 0) {
+			t.Fatalf("pair %d weight %g not positive", i, w)
+		}
+	}
+	// Between consecutive bins, roughly ChurnFrac of the weights re-draw
+	// (default 0.4) — the rest persist exactly.
+	prev := w0
+	for b := 1; b < dc.Bins; b++ {
+		cur, err := dc.PairWeights(b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed := 0
+		for i := range cur {
+			if cur[i] != prev[i] {
+				changed++
+			}
+		}
+		frac := float64(changed) / n
+		if frac < 0.25 || frac > 0.55 {
+			t.Errorf("bin %d: %.0f%% of weights churned, want ~40%%", b, frac*100)
+		}
+		prev = cur
+	}
+	// Out-of-range queries are rejected.
+	if _, err := dc.PairWeights(-1, n); err == nil {
+		t.Error("negative bin accepted")
+	}
+	if _, err := dc.PairWeights(dc.Bins, n); err == nil {
+		t.Error("bin past the horizon accepted")
+	}
+	if _, err := dc.PairWeights(0, 0); err == nil {
+		t.Error("zero pairs accepted")
+	}
+}
+
+func TestDiurnalPairWeights(t *testing.T) {
+	dc := Diurnal(dynBase(13), 16)
+	const n = 200
+	w0, err := dc.PairWeights(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dc.amplitude()
+	for b := 0; b < dc.Bins; b++ {
+		w, err := dc.PairWeights(b, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range w {
+			if v < 1-a-1e-9 || v > 1+a+1e-9 {
+				t.Fatalf("bin %d pair %d weight %g outside [1-A, 1+A]", b, i, v)
+			}
+		}
+	}
+	// One full period later the weights return.
+	w8, err := dc.PairWeights(8, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w0 {
+		if math.Abs(w0[i]-w8[i]) > 1e-9 {
+			t.Fatalf("diurnal weights not periodic at pair %d: %g vs %g", i, w0[i], w8[i])
+		}
+	}
+	// Phases differ across pairs: bin 0 weights are not all equal.
+	allEqual := true
+	for i := 1; i < n; i++ {
+		if w0[i] != w0[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		t.Error("diurnal pairs share one phase")
+	}
+}
