@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test short vet fmt check race bench bench-smoke e2e e2e-daemon fuzz-smoke cover lint
+.PHONY: all build test short vet fmt check race bench bench-smoke e2e e2e-daemon e2e-obs fuzz-smoke cover lint
 
 all: check
 
@@ -72,6 +72,13 @@ e2e:
 # must drain cleanly.
 e2e-daemon:
 	./scripts/e2e_daemon.sh
+
+# End-to-end observability check: flowrankd with -journal and -pprof,
+# /metrics must expose the pipeline-stage and runtime series, the heap
+# profile must answer, and the journal must validate via journalcheck
+# with one record per bin and sampled-packet counts matching /metrics.
+e2e-obs:
+	./scripts/e2e_obs.sh
 
 # Brief native fuzz runs (~40 s total) over the wire-format edges (the
 # NetFlow decode/encode round trip, the pcap reader/writer) and the flat

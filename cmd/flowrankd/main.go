@@ -24,7 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -58,11 +58,11 @@ type options struct {
 	memory  int
 	listen  string
 	nfAddr  string
+	journal string
+	pprof   bool
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("flowrankd: ")
 	var opts options
 	flag.StringVar(&opts.in, "in", "", "input trace to replay (native or, with -pcap, pcap)")
 	flag.BoolVar(&opts.isPcap, "pcap", false, "input trace is a pcap file")
@@ -82,12 +82,16 @@ func main() {
 	flag.IntVar(&opts.memory, "memory", 0, "slot budget per bounded table (0 = kind default)")
 	flag.StringVar(&opts.listen, "listen", ":9465", "HTTP address serving /metrics and /healthz")
 	flag.StringVar(&opts.nfAddr, "netflow-udp", "", "export each bin's sampled top list as NetFlow v5 to this UDP host:port")
+	flag.StringVar(&opts.journal, "journal", "", "append one JSON record per bin to this file (- = stdout)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on -listen")
 	flag.Parse()
 
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, opts, log.Printf); err != nil {
-		log.Fatal(err)
+	if err := run(ctx, opts, log); err != nil {
+		log.Error("exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -168,7 +172,23 @@ func buildSource(opts options) (source.PacketSource, error) {
 	return src, nil
 }
 
-func run(ctx context.Context, opts options, logf func(string, ...any)) error {
+// openJournal resolves the -journal flag to a slog JSON logger plus the
+// close that flushes it; a nil logger means journaling is off.
+func openJournal(path string) (*slog.Logger, func() error, error) {
+	switch path {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "-":
+		return daemon.NewJournal(os.Stdout), func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening -journal: %w", err)
+	}
+	return daemon.NewJournal(f), f.Close, nil
+}
+
+func run(ctx context.Context, opts options, log *slog.Logger) error {
 	if err := validate(opts); err != nil {
 		return err
 	}
@@ -188,6 +208,11 @@ func run(ctx context.Context, opts options, logf func(string, ...any)) error {
 	if err != nil {
 		return err
 	}
+	journal, closeJournal, err := openJournal(opts.journal)
+	if err != nil {
+		return err
+	}
+	defer closeJournal()
 	src, err := buildSource(opts)
 	if err != nil {
 		return err
@@ -205,12 +230,14 @@ func run(ctx context.Context, opts options, logf func(string, ...any)) error {
 		AdaptTarget: opts.adapt,
 		ListenAddr:  opts.listen,
 		NetFlowAddr: opts.nfAddr,
-		Logf:        logf,
+		Log:         log,
+		Journal:     journal,
+		EnablePprof: opts.pprof,
 	})
 	if err != nil {
 		src.Close()
 		return err
 	}
-	logf("serving /metrics and /healthz on %s", d.Addr())
+	log.Info("serving /metrics and /healthz", "addr", d.Addr(), "pprof", opts.pprof)
 	return d.Run(ctx)
 }

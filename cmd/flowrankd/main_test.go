@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"flowrank/internal/daemon"
 	"flowrank/internal/flow"
 	"flowrank/internal/packet"
 )
@@ -59,6 +61,34 @@ func baseOptions(in string) options {
 	}
 }
 
+// quietLogger discards operational records — validation-error tests only
+// look at run's returned error.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// addrCapture is a slog.Handler that fishes the daemon's announced
+// listen address out of the log stream — what an operator's eyes do.
+type addrCapture struct {
+	slog.Handler
+	addrCh chan string
+}
+
+func (h addrCapture) Handle(ctx context.Context, r slog.Record) error {
+	if strings.Contains(r.Message, "serving") {
+		r.Attrs(func(a slog.Attr) bool {
+			if a.Key == "addr" {
+				select {
+				case h.addrCh <- a.Value.String():
+				default:
+				}
+			}
+			return true
+		})
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
 // TestFlagValidation is the table of flag-combination rejections; every
 // error must name the flag to change.
 func TestFlagValidation(t *testing.T) {
@@ -83,7 +113,7 @@ func TestFlagValidation(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			opts := baseOptions("trace.pkts")
 			tc.mod(&opts)
-			err := run(context.Background(), opts, t.Logf)
+			err := run(context.Background(), opts, quietLogger())
 			if err == nil {
 				t.Fatal("run accepted the bad flags")
 			}
@@ -99,7 +129,7 @@ func TestFlagValidation(t *testing.T) {
 func TestLiveUnsupportedInHermeticBuild(t *testing.T) {
 	opts := baseOptions("")
 	opts.in, opts.live = "", "eth0"
-	err := run(context.Background(), opts, t.Logf)
+	err := run(context.Background(), opts, quietLogger())
 	if err == nil {
 		t.Skip("live capture available in this build")
 	}
@@ -109,27 +139,25 @@ func TestLiveUnsupportedInHermeticBuild(t *testing.T) {
 }
 
 // TestRunReplayToDrain drives the real binary wiring end to end in
-// process: replay a trace, scrape /metrics while it serves, then cancel
-// (the SIGTERM path) and require a clean exit.
+// process: replay a trace with the journal and pprof surfaces on, scrape
+// /metrics and /debug/pprof/heap while it serves, then cancel (the
+// SIGTERM path), require a clean exit, and validate the journal the run
+// left behind.
 func TestRunReplayToDrain(t *testing.T) {
 	trace := writeTrace(t)
 	opts := baseOptions(trace)
 	opts.loop = true // endless replay: the daemon must be stopped, like production
+	opts.journal = filepath.Join(t.TempDir(), "journal.jsonl")
+	opts.pprof = true
 
 	addrCh := make(chan string, 1)
-	logf := func(format string, args ...any) {
-		if strings.Contains(format, "serving") && len(args) == 1 {
-			if a, ok := args[0].(string); ok {
-				select {
-				case addrCh <- a:
-				default:
-				}
-			}
-		}
-	}
+	log := slog.New(addrCapture{
+		Handler: slog.NewTextHandler(io.Discard, nil),
+		addrCh:  addrCh,
+	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, opts, logf) }()
+	go func() { done <- run(ctx, opts, log) }()
 
 	var addr string
 	select {
@@ -137,19 +165,35 @@ func TestRunReplayToDrain(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never announced its address")
 	}
+	get := func(path string) (string, int) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", 0
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.StatusCode
+	}
 	deadline := time.Now().Add(10 * time.Second)
 	var body string
 	for !strings.Contains(body, "flowrankd_up 1") {
 		if time.Now().After(deadline) {
 			t.Fatalf("metrics never came up; last scrape:\n%s", body)
 		}
-		resp, err := http.Get("http://" + addr + "/metrics")
-		if err == nil {
-			b, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			body = string(b)
-		}
+		body, _ = get("/metrics")
 		time.Sleep(5 * time.Millisecond)
+	}
+	for _, series := range []string{
+		"flowrankd_pipeline_packets_total",
+		"flowrankd_goroutines",
+		"flowrank_build_info{",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics page missing %q", series)
+		}
+	}
+	if prof, code := get("/debug/pprof/heap?debug=1"); code != http.StatusOK || !strings.Contains(prof, "heap profile") {
+		t.Errorf("-pprof heap endpoint: status %d, body %.80q", code, prof)
 	}
 	cancel()
 	select {
@@ -159,5 +203,17 @@ func TestRunReplayToDrain(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not drain after cancel")
+	}
+	jf, err := os.Open(opts.journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	bins, err := daemon.ValidateJournal(jf)
+	if err != nil {
+		t.Fatalf("journal invalid: %v", err)
+	}
+	if bins == 0 {
+		t.Fatal("journal recorded no bins")
 	}
 }

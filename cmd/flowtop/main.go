@@ -41,14 +41,17 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"flowrank/internal/adaptive"
+	"flowrank/internal/daemon"
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
 	"flowrank/internal/invert"
 	"flowrank/internal/netflow"
+	"flowrank/internal/obs"
 	"flowrank/internal/packet"
 	"flowrank/internal/report"
 	"flowrank/internal/sampler"
@@ -72,6 +75,7 @@ type options struct {
 	adapt   float64
 	table   string
 	memory  int
+	journal string
 }
 
 func main() {
@@ -91,6 +95,7 @@ func main() {
 	flag.Float64Var(&opts.adapt, "adapt", 0, "closed-loop target for the §5 ranking metric: after every bin, refit the model to the bin's inversion and set the next bin's sampling rate to the cheapest one meeting the target (0 disables; requires -invert)")
 	flag.StringVar(&opts.table, "table", "exact", "per-shard flow table: exact, spacesaving, or countmin (bounded kinds keep at most -memory flows per shard)")
 	flag.IntVar(&opts.memory, "memory", 0, "slot budget per bounded table (0 = kind default; ignored for -table exact)")
+	flag.StringVar(&opts.journal, "journal", "", "append one JSON record per bin (the flowrankd journal schema) to this file")
 	flag.Parse()
 	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
@@ -126,6 +131,19 @@ func run(opts options, stdout, stderr io.Writer) error {
 	defer src.Close()
 	ctl := adaptive.Controller{Target: opts.adapt, TopT: opts.topT, Workers: opts.workers}
 
+	// -journal wires the same flight recorder flowrankd keeps: pipeline
+	// stats on the engine (alloc-free; the output stays bit-identical)
+	// and one schema-validated JSON record per bin. No journal, no stats:
+	// the default path is byte-for-byte the tool it always was.
+	var jw *journalWriter
+	if opts.journal != "" {
+		jw, err = newJournalWriter(opts.journal, opts.workers, spec)
+		if err != nil {
+			return err
+		}
+		defer jw.Close()
+	}
+
 	// The sampler is held concretely so the closed loop can retune its
 	// rate between bins. The emit callback runs on the Feed goroutine —
 	// the same one making every sampling decision — so the update is
@@ -146,10 +164,13 @@ func run(opts options, stdout, stderr io.Writer) error {
 		Workers:    opts.workers,
 		Inverter:   inverter,
 		Tables:     spec,
+		Obs:        jw.stats(),
 		// flowtop copies everything it keeps past emit (NetFlow records are
 		// value conversions), so the engine may recycle its bin buffers.
 		Recycle: true,
 	}, func(b stream.BinResult) error {
+		emitStart := obs.Nanotime()
+		rate := bern.P // the rate that produced this bin, before any retune
 		if err := printBin(stdout, b, opts.topT); err != nil {
 			return err
 		}
@@ -159,7 +180,7 @@ func run(opts options, stdout, stderr io.Writer) error {
 			}
 		}
 		if opts.nfOut != "" && len(b.SampledTop) > 0 {
-			grp := netflowBin{rate: bern.P}
+			grp := netflowBin{rate: rate}
 			for _, e := range b.SampledTop {
 				grp.records = append(grp.records, netflowRecord(e))
 			}
@@ -169,6 +190,9 @@ func run(opts options, stdout, stderr io.Writer) error {
 			if err := adaptRate(stdout, ctl, bern, b); err != nil {
 				return err
 			}
+		}
+		if jw != nil {
+			jw.record(b, rate, bern.P, obs.Nanotime()-emitStart)
 		}
 		return nil
 	})
@@ -212,6 +236,80 @@ type netflowBin struct {
 	rate    float64
 	records []netflow.Record
 }
+
+// journalWriter owns flowtop's -journal surface: the engine's pipeline
+// stats and the slog JSON stream. It shares flowrankd's BinRecord schema
+// so one journalcheck/ValidateJournal oracle covers both tools.
+type journalWriter struct {
+	f     *os.File
+	log   *slog.Logger
+	ps    *obs.PipelineStats
+	table string
+}
+
+func newJournalWriter(path string, workers int, spec flowtable.Spec) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("opening -journal: %w", err)
+	}
+	if workers < 1 {
+		workers = stream.DefaultWorkers()
+	}
+	return &journalWriter{
+		f:     f,
+		log:   daemon.NewJournal(f),
+		ps:    obs.NewPipelineStats(workers),
+		table: spec.Kind.String(),
+	}, nil
+}
+
+// stats is nil-safe so the engine wiring reads naturally without a
+// journal: a nil *PipelineStats disables instrumentation entirely.
+func (j *journalWriter) stats() *obs.PipelineStats {
+	if j == nil {
+		return nil
+	}
+	return j.ps
+}
+
+// record writes one bin's journal line. The engine's barrier/merge/
+// invert gauges describe this bin (they land before emit); the emit
+// stage is flowtop's own emit-path measurement.
+func (j *journalWriter) record(b stream.BinResult, rate, nextRate float64, emitNanos int64) {
+	st := j.ps.LastStages()
+	st.Emit = emitNanos
+	st.Total = st.Barrier + st.Merge + st.Invert + st.Emit
+	rec := daemon.BinRecord{
+		Bin:               b.Bin,
+		Start:             b.Start,
+		End:               b.End,
+		Table:             j.table,
+		Flows:             len(b.Orig),
+		SampledFlows:      b.SampledFlows,
+		OrigPackets:       b.OrigPackets,
+		SampledPackets:    b.SampledPackets,
+		SamplingRate:      rate,
+		CountErrPkts:      b.CountErr,
+		RankingFraction:   b.Pairs.RankingFrac(),
+		DetectionFraction: b.Pairs.DetectionFrac(),
+		Stages:            &st,
+	}
+	if inv := b.Inversion; inv != nil {
+		rec.Inversion = &daemon.InversionRecord{
+			Method:    inv.Method,
+			MeanPkts:  inv.Mean,
+			TailIndex: inv.TailIndex,
+			Flows:     inv.FlowCount,
+			Err:       inv.Err,
+		}
+	}
+	if nextRate != rate {
+		rec.Adapt = &daemon.AdaptRecord{Applied: true, PrevRate: rate, Rate: nextRate}
+	}
+	j.log.Info("bin", slog.Any("record", rec))
+}
+
+func (j *journalWriter) Close() error { return j.f.Close() }
 
 // validate rejects flag combinations with errors that say what to change
 // instead of silently picking a behavior.

@@ -3,12 +3,15 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"flowrank/internal/daemon"
 	"flowrank/internal/flow"
 	"flowrank/internal/flowtable"
 	"flowrank/internal/layers"
@@ -413,5 +416,46 @@ func TestFlagValidation(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestJournalOutput: -journal writes a schema-valid record per bin, and
+// attaching the journal's pipeline instrumentation must not change the
+// printed report by a single byte, for any worker count.
+func TestJournalOutput(t *testing.T) {
+	native, _ := writeTraces(t)
+	dir := t.TempDir()
+	base := options{
+		in: native, rate: 0.2, topT: 5, binSec: 4,
+		aggName: "5tuple", seed: 9, workers: 1,
+	}
+
+	var plain bytes.Buffer
+	if err := run(base, &plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opts := base
+		opts.workers = workers
+		opts.journal = filepath.Join(dir, fmt.Sprintf("journal-%d.jsonl", workers))
+		var stdout bytes.Buffer
+		if err := run(opts, &stdout, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if stdout.String() != plain.String() {
+			t.Errorf("workers=%d: -journal changed the printed report", workers)
+		}
+		f, err := os.Open(opts.journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bins, err := daemon.ValidateJournal(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: journal invalid: %v", workers, err)
+		}
+		if want := strings.Count(plain.String(), "== bin"); bins != want {
+			t.Errorf("workers=%d: %d journal records, want %d bins", workers, bins, want)
+		}
 	}
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Container entrypoint: synthesize a Sprint-like trace once, then replay
+# it through flowrankd forever at real time so Prometheus always has a
+# live target with moving bins. Arguments are appended to the flowrankd
+# command line after the defaults, and the last occurrence of a flag
+# wins, so `command:` in docker-compose.yml (or `docker run flowrankd
+# -p 0.05 ...`) can override anything below. The synthesized trace is
+# shaped by the TRACE_* environment variables.
+set -eu
+
+: "${TRACE_SECONDS:=60}"
+: "${TRACE_RATE:=0.5}"
+: "${TRACE_SEED:=3}"
+
+trace=/var/lib/flowrank/trace.pkts
+if [ ! -f "$trace" ]; then
+    tracegen -preset sprint5 -seconds "$TRACE_SECONDS" -rate "$TRACE_RATE" \
+        -seed "$TRACE_SEED" -packets -o "$trace"
+fi
+
+exec flowrankd -in "$trace" -loop -speed 1 -listen :9465 "$@"

@@ -45,6 +45,7 @@ package flowrank
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"flowrank/internal/adaptive"
 	"flowrank/internal/core"
@@ -55,6 +56,7 @@ import (
 	"flowrank/internal/invert"
 	"flowrank/internal/metrics"
 	"flowrank/internal/netsample"
+	"flowrank/internal/obs"
 	"flowrank/internal/packet"
 	"flowrank/internal/packetgen"
 	"flowrank/internal/sampler"
@@ -457,6 +459,40 @@ type MonitorDaemon = daemon.Daemon
 
 // NewDaemon validates cfg and binds its listeners; Run releases them.
 func NewDaemon(cfg DaemonConfig) (*MonitorDaemon, error) { return daemon.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Observability: pipeline self-instrumentation and the bin journal
+
+// PipelineStats is the streaming engine's self-instrumentation surface
+// (StreamConfig.Obs): preallocated alloc-free counters and fixed-bucket
+// latency histograms for the reader, each shard worker and the
+// bin-boundary flush. Attaching one never changes engine output — with
+// or without it, results are bit-identical.
+type PipelineStats = obs.PipelineStats
+
+// NewPipelineStats preallocates pipeline instrumentation for an engine
+// with the given shard worker count (it must cover StreamConfig.Workers).
+func NewPipelineStats(shards int) *PipelineStats { return obs.NewPipelineStats(shards) }
+
+// StageNanos is one bin's flush-stage timing breakdown (barrier, merge,
+// inversion, emit, total), as recorded in the bin journal.
+type StageNanos = obs.StageNanos
+
+// BinJournalRecord is one measurement bin's machine-readable journal
+// entry: stage timings, table kind, flow and packet counts, the
+// swapped-pair fractions, and the optional inversion, adaptation and
+// NetFlow-export outcomes. flowrankd -journal and flowtop -journal
+// write one per bin.
+type BinJournalRecord = daemon.BinRecord
+
+// NewBinJournal returns a structured logger writing journal records as
+// JSON lines to w — the sink DaemonConfig.Journal expects.
+func NewBinJournal(w io.Writer) *slog.Logger { return daemon.NewJournal(w) }
+
+// ValidateBinJournal checks a journal stream line-by-line against the
+// BinJournalRecord schema and returns the number of bin records seen
+// (cmd/journalcheck wraps it for shell pipelines).
+func ValidateBinJournal(r io.Reader) (bins int, err error) { return daemon.ValidateJournal(r) }
 
 // ---------------------------------------------------------------------------
 // Metrics

@@ -7,6 +7,12 @@
 // Prometheus scrape endpoint, with NetFlow v5 export as a UDP network
 // service.
 //
+// The daemon observes itself on three surfaces: /metrics (current state,
+// including the stream engine's per-stage pipeline telemetry and the Go
+// runtime's view of the process), the structured bin journal (one JSON
+// record per completed bin, see BinRecord), and opt-in net/http/pprof
+// profiling on the same listener.
+//
 // Lifecycle: New validates the configuration and binds the HTTP
 // listener (so callers can pass ":0" and read Addr before scraping);
 // Run serves until the context is canceled or the source ends. On
@@ -22,8 +28,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +40,7 @@ import (
 	"flowrank/internal/flowtable"
 	"flowrank/internal/invert"
 	"flowrank/internal/netflow"
+	"flowrank/internal/obs"
 	"flowrank/internal/packet"
 	"flowrank/internal/sampler"
 	"flowrank/internal/source"
@@ -73,22 +82,42 @@ type Config struct {
 	// NetFlowAddr, when set, is the UDP host:port every bin's sampled
 	// top list is exported to as NetFlow v5 datagrams.
 	NetFlowAddr string
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives operational log records (drain notices, adapt
+	// decisions, export failures); nil discards them.
+	Log *slog.Logger
+	// Journal, when set, receives one structured JSON record per
+	// completed measurement bin — the daemon's flight recorder. Build it
+	// with NewJournal; validate a captured stream with ValidateJournal.
+	Journal *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the same
+	// listener as /metrics. Off by default: profiling endpoints expose
+	// execution detail an operator must opt into.
+	EnablePprof bool
 }
+
+// nfWarnEvery spaces the rate-limited NetFlow send-failure warnings: a
+// blackholed collector fails every bin, and one warning per failure
+// would turn the operational log into the failure.
+const nfWarnEvery = int64(30 * time.Second)
 
 // Daemon is a constructed monitor, ready to Run.
 type Daemon struct {
 	cfg  Config
 	m    *metricSet
+	obs  *obs.PipelineStats
 	bern *sampler.Bernoulli
 	ctl  adaptive.Controller
 	ln   net.Listener
 	nf   net.Conn
 	// nfSeq is the running v5 flow sequence — collectors compute
 	// datagram loss from its deltas, so it spans bins.
-	nfSeq    int
-	draining atomic.Bool
+	nfSeq int
+	// nfWarnLast and nfWarnDropped implement the send-failure warning
+	// rate limit: at most one warning per nfWarnEvery, carrying the
+	// count of failures it summarizes.
+	nfWarnLast    atomic.Int64
+	nfWarnDropped atomic.Int64
+	draining      atomic.Bool
 }
 
 // New validates cfg, binds the HTTP listener and (when configured) the
@@ -118,8 +147,8 @@ func New(cfg Config) (*Daemon, error) {
 	if err := cfg.Tables.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
@@ -128,10 +157,13 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:  cfg,
 		m:    newMetricSet(),
+		obs:  obs.NewPipelineStats(effectiveWorkers(cfg.Workers)),
 		bern: sampler.NewBernoulli(cfg.Rate, cfg.Seed),
 		ctl:  adaptive.Controller{Target: cfg.AdaptTarget, TopT: cfg.TopT, Workers: cfg.Workers},
 		ln:   ln,
 	}
+	registerPipelineMetrics(d.m.reg, d.obs)
+	registerRuntimeMetrics(d.m.reg, time.Now())
 	if cfg.NetFlowAddr != "" {
 		conn, err := net.Dial("udp", cfg.NetFlowAddr)
 		if err != nil {
@@ -172,6 +204,15 @@ func (d *Daemon) Run(ctx context.Context) error {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if d.cfg.EnablePprof {
+		// net/http/pprof self-registers only on the default mux; this
+		// daemon serves a private mux, so mount the handlers explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(d.ln) }()
@@ -197,8 +238,10 @@ func (d *Daemon) Run(ctx context.Context) error {
 		BatchSize:  d.cfg.BatchSize,
 		Inverter:   d.cfg.Inverter,
 		Tables:     d.cfg.Tables,
+		Obs:        d.obs,
 		// onBin copies nothing past emit except value conversions
-		// (NetFlow records, metric scalars), so recycling is safe.
+		// (NetFlow records, metric scalars, the journal record), so
+		// recycling is safe.
 		Recycle: true,
 	}, d.onBin)
 	if err != nil {
@@ -236,7 +279,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	if res.eof {
 		d.m.sourceEOF.Set(1)
-		d.cfg.Logf("source drained; serving metrics until shutdown")
+		d.cfg.Log.Info("source drained; serving metrics until shutdown")
 		// Keep the observability surface up so the final values can be
 		// scraped; only the context ends a daemon.
 		select {
@@ -246,6 +289,15 @@ func (d *Daemon) Run(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// effectiveWorkers mirrors the engine's Workers default so the obs shard
+// slice is sized for the shards the engine will actually run.
+func effectiveWorkers(w int) int {
+	if w == 0 {
+		return stream.DefaultWorkers()
+	}
+	return w
 }
 
 // readLoop feeds the engine until EOF, drain, or a fatal error. It owns
@@ -275,7 +327,10 @@ func (d *Daemon) readLoop(eng *stream.Engine) loopResult {
 // the engine (the reader, or Run during the drain flush), so the sampler
 // retune below lands before the next bin's first sampling decision.
 func (d *Daemon) onBin(b stream.BinResult) error {
-	start := time.Now()
+	start := obs.Nanotime()
+	// rate is the probability that produced this bin; the adaptive
+	// retune below must not relabel the bin's export or journal record.
+	rate := d.bern.P
 	d.m.bins.Inc()
 	d.m.sampled.Add(float64(b.SampledPackets))
 	d.m.flowsTracked.Set(float64(len(b.Orig) + b.SampledFlows))
@@ -291,72 +346,151 @@ func (d *Daemon) onBin(b stream.BinResult) error {
 		d.m.invTail.Set(inv.TailIndex)
 		d.m.invFlows.Set(inv.FlowCount)
 	}
-	// Export under the rate that produced the bin — the retune below
-	// must not relabel these records' sampling interval.
-	d.exportBin(b)
+	nf := d.exportBin(b, rate)
+	var ad *AdaptRecord
 	if d.cfg.AdaptTarget > 0 {
-		d.adapt(b)
+		ad = d.adapt(b)
 	}
-	d.m.binLatency.Observe(time.Since(start).Seconds())
+	elapsed := obs.Nanotime() - start
+	d.m.binLatency.Observe(float64(elapsed) / 1e9)
+	d.journalBin(b, rate, elapsed, nf, ad)
 	return nil
 }
 
-// exportBin sends the bin's sampled top list as NetFlow v5 datagrams.
-// Send failures are counted and logged, never fatal: losing an export
-// datagram must not take the monitor down (UDP collectors lose datagrams
-// routinely; that is what the flow sequence is for).
-func (d *Daemon) exportBin(b stream.BinResult) {
-	if d.nf == nil || len(b.SampledTop) == 0 {
+// journalBin writes the bin's flight-recorder record. The engine wrote
+// the barrier/merge/invert stage gauges before invoking emit, so they
+// describe this bin; the emit stage is the daemon's own measurement of
+// the path above (the engine's emit gauge lands only after this callback
+// returns).
+func (d *Daemon) journalBin(b stream.BinResult, rate float64, emitNanos int64, nf *NetFlowRecord, ad *AdaptRecord) {
+	if d.cfg.Journal == nil {
 		return
 	}
+	st := d.obs.LastStages()
+	st.Emit = emitNanos
+	st.Total = st.Barrier + st.Merge + st.Invert + st.Emit
+	rec := BinRecord{
+		Bin:               b.Bin,
+		Start:             b.Start,
+		End:               b.End,
+		Table:             d.cfg.Tables.Kind.String(),
+		Flows:             len(b.Orig),
+		SampledFlows:      b.SampledFlows,
+		OrigPackets:       b.OrigPackets,
+		SampledPackets:    b.SampledPackets,
+		SamplingRate:      rate,
+		CountErrPkts:      b.CountErr,
+		RankingFraction:   b.Pairs.RankingFrac(),
+		DetectionFraction: b.Pairs.DetectionFrac(),
+		Stages:            &st,
+		NetFlow:           nf,
+		Adapt:             ad,
+	}
+	if inv := b.Inversion; inv != nil {
+		rec.Inversion = &InversionRecord{
+			Method:    inv.Method,
+			MeanPkts:  inv.Mean,
+			TailIndex: inv.TailIndex,
+			Flows:     inv.FlowCount,
+			Err:       inv.Err,
+		}
+	}
+	d.cfg.Journal.Info(journalMsg, slog.Any("record", rec))
+}
+
+// exportBin sends the bin's sampled top list as NetFlow v5 datagrams and
+// reports the outcome for the journal. Send failures are counted and
+// logged (rate-limited), never fatal: losing an export datagram must not
+// take the monitor down (UDP collectors lose datagrams routinely; that
+// is what the flow sequence is for).
+func (d *Daemon) exportBin(b stream.BinResult, rate float64) *NetFlowRecord {
+	if d.nf == nil || len(b.SampledTop) == 0 {
+		return nil
+	}
+	out := &NetFlowRecord{Dest: d.cfg.NetFlowAddr, FlowSeqStart: d.nfSeq}
 	recs := make([]netflow.Record, 0, len(b.SampledTop))
 	for _, e := range b.SampledTop {
 		recs = append(recs, netflow.SaturatingRecord(e))
 	}
 	grams, err := netflow.Export(netflow.Header{
 		SamplingMode:     1,
-		SamplingInterval: netflow.IntervalForRate(d.bern.P),
+		SamplingInterval: netflow.IntervalForRate(rate),
 		FlowSequence:     uint32(d.nfSeq),
 	}, recs)
 	if err != nil {
 		d.m.nfErrors.Inc()
-		d.cfg.Logf("netflow: bin %d: %v", b.Bin, err)
-		return
+		out.Err = err.Error()
+		d.cfg.Log.Error("netflow export failed",
+			"bin", b.Bin, "dest", d.cfg.NetFlowAddr, "flow_seq", d.nfSeq, "err", err)
+		return out
 	}
 	for _, g := range grams {
 		if _, err := d.nf.Write(g); err != nil {
 			d.m.nfErrors.Inc()
-			d.cfg.Logf("netflow: bin %d: %v", b.Bin, err)
+			out.SendErrors++
+			d.warnSendFailure(b.Bin, err)
 			continue
 		}
 		d.m.nfDatagrams.Inc()
+		out.Datagrams++
 	}
 	d.m.nfRecords.Add(float64(len(recs)))
+	out.Records = len(recs)
 	d.nfSeq += len(recs)
+	return out
+}
+
+// warnSendFailure logs a NetFlow UDP send failure with its destination
+// and flow-sequence context, at most once per nfWarnEvery; suppressed
+// failures are counted and reported by the next warning that passes.
+func (d *Daemon) warnSendFailure(bin int64, err error) {
+	now := obs.Nanotime()
+	last := d.nfWarnLast.Load()
+	// last == 0 means no warning yet — the first failure always warns
+	// (Nanotime is small early in the process, so a plain age check
+	// would swallow it).
+	if (last != 0 && now-last < nfWarnEvery) || !d.nfWarnLast.CompareAndSwap(last, now) {
+		d.nfWarnDropped.Add(1)
+		return
+	}
+	d.cfg.Log.Warn("netflow send failed",
+		"bin", bin,
+		"dest", d.cfg.NetFlowAddr,
+		"flow_seq", d.nfSeq,
+		"suppressed", d.nfWarnDropped.Swap(0),
+		"err", err)
 }
 
 // adapt closes the §9 loop: refit the controller to the bin's inversion
-// and retune the live sampling rate. A bin whose inversion failed keeps
-// the current rate — the monitor must not lose its sampling budget to
-// one degenerate bin.
-func (d *Daemon) adapt(b stream.BinResult) {
+// and retune the live sampling rate, reporting the decision for the
+// journal. A bin whose inversion failed keeps the current rate — the
+// monitor must not lose its sampling budget to one degenerate bin.
+func (d *Daemon) adapt(b stream.BinResult) *AdaptRecord {
+	rec := &AdaptRecord{PrevRate: d.bern.P, Rate: d.bern.P}
 	if b.Inversion == nil || b.Inversion.Estimate == nil {
-		reason := "no inversion"
+		rec.Reason = "no inversion"
 		if b.Inversion != nil {
-			reason = b.Inversion.Err
+			rec.Reason = b.Inversion.Err
 		}
-		d.cfg.Logf("adapt: bin %d: keeping p=%.4g%% (%s)", b.Bin, d.bern.P*100, reason)
-		return
+		d.cfg.Log.Info("adapt: keeping rate",
+			"bin", b.Bin, "rate", d.bern.P, "reason", rec.Reason)
+		return rec
 	}
 	next, _, err := d.ctl.RecommendEstimate(*b.Inversion.Estimate)
 	if err != nil {
-		d.cfg.Logf("adapt: bin %d: %v (keeping p=%.4g%%)", b.Bin, err, d.bern.P*100)
-		return
+		rec.Reason = err.Error()
+		d.cfg.Log.Info("adapt: keeping rate",
+			"bin", b.Bin, "rate", d.bern.P, "reason", rec.Reason)
+		return rec
 	}
 	if next != d.bern.P {
-		d.cfg.Logf("adapt: bin %d: p=%.4g%% -> %.4g%%", b.Bin, d.bern.P*100, next*100)
+		d.cfg.Log.Info("adapt: retuned rate",
+			"bin", b.Bin, "prev_rate", d.bern.P, "rate", next)
 		d.bern.P = next
 		d.m.adaptChanges.Inc()
+		rec.Applied = true
+		rec.Rate = next
 	}
 	d.m.samplingRate.Set(d.bern.P)
+	return rec
 }

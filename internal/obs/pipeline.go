@@ -1,0 +1,177 @@
+package obs
+
+// DefaultLatencyBounds is the nanosecond bucket ladder the pipeline
+// histograms use: from a microsecond (one batch through a warm shard) to
+// ten seconds (a closed-loop model refit inside emit), roughly
+// half-decade steps.
+var DefaultLatencyBounds = []int64{
+	1_000,          // 1µs
+	5_000,          // 5µs
+	10_000,         // 10µs
+	50_000,         // 50µs
+	100_000,        // 100µs
+	500_000,        // 500µs
+	1_000_000,      // 1ms
+	5_000_000,      // 5ms
+	10_000_000,     // 10ms
+	50_000_000,     // 50ms
+	100_000_000,    // 100ms
+	500_000_000,    // 500ms
+	1_000_000_000,  // 1s
+	10_000_000_000, // 10s
+}
+
+// ReaderStats instruments stage 1 of the stream engine: the single
+// goroutine that makes every sampling decision and dispatches batches to
+// the shard workers.
+type ReaderStats struct {
+	// Batches counts batch dispatches to shard workers.
+	Batches Counter
+	// Stalls counts dispatches that found the shard's queue full — the
+	// engine's backpressure signal. A rising stall rate means the shard
+	// workers, not the reader, cap throughput.
+	Stalls Counter
+	// Dispatch is the per-batch hand-off latency, including any stall
+	// wait for queue space.
+	Dispatch *Histogram
+	// QueueDepthMax is the high-water mark of any shard queue observed
+	// at dispatch time.
+	QueueDepthMax Gauge
+}
+
+// ShardStats instruments one shard worker: its share of the key space,
+// its ingest time, and the depth of its inbound queue.
+type ShardStats struct {
+	// Batches and Packets count what this shard has ingested.
+	Batches Counter
+	Packets Counter
+	// Ingest is the per-batch table-update time on this shard.
+	Ingest *Histogram
+	// Depth is the shard's queue depth as last observed by the reader at
+	// dispatch.
+	Depth Gauge
+}
+
+// FlushStats instruments the bin boundary: the barrier that drains every
+// shard, the k-way merge, the optional inversion, and the caller's emit.
+type FlushStats struct {
+	// Bins counts completed (non-empty) bin flushes.
+	Bins Counter
+	// Barrier is the time to dispatch the flush and collect every
+	// shard's summary (includes the shards' parallel sorts).
+	Barrier *Histogram
+	// Merge is the k-way merge of the shard summaries into the bin
+	// result.
+	Merge *Histogram
+	// Invert is the per-bin flow-size-distribution inversion (zero-width
+	// when no Inverter is configured).
+	Invert *Histogram
+	// Emit is the caller's emit callback (metrics export, NetFlow,
+	// adaptive refit).
+	Emit *Histogram
+	// Total is the whole flush, barrier through emit.
+	Total *Histogram
+	// LastBarrierNanos through LastTotalNanos are the most recent bin's
+	// stage timings — what the per-bin journal records without touching
+	// the cumulative histograms.
+	LastBarrierNanos Gauge
+	LastMergeNanos   Gauge
+	LastInvertNanos  Gauge
+	LastEmitNanos    Gauge
+	LastTotalNanos   Gauge
+}
+
+// PipelineStats is the stream engine's self-instrumentation surface: one
+// ReaderStats, one ShardStats per shard worker, one FlushStats. All
+// storage is preallocated by NewPipelineStats, so recording into any
+// field is alloc-free; a nil *PipelineStats disables instrumentation
+// entirely (the engine branches on nil, never on a flag).
+//
+// The stats never feed back into the measurement: with or without a
+// PipelineStats attached, the engine's output is bit-identical.
+type PipelineStats struct {
+	Reader ReaderStats
+	Shards []ShardStats
+	Flush  FlushStats
+}
+
+// NewPipelineStats preallocates instrumentation for an engine with the
+// given shard worker count.
+func NewPipelineStats(shards int) *PipelineStats {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &PipelineStats{Shards: make([]ShardStats, shards)}
+	p.Reader.Dispatch = NewHistogram(DefaultLatencyBounds)
+	for i := range p.Shards {
+		p.Shards[i].Ingest = NewHistogram(DefaultLatencyBounds)
+	}
+	p.Flush.Barrier = NewHistogram(DefaultLatencyBounds)
+	p.Flush.Merge = NewHistogram(DefaultLatencyBounds)
+	p.Flush.Invert = NewHistogram(DefaultLatencyBounds)
+	p.Flush.Emit = NewHistogram(DefaultLatencyBounds)
+	p.Flush.Total = NewHistogram(DefaultLatencyBounds)
+	return p
+}
+
+// IngestSnapshot merges the per-shard ingest histograms into one — the
+// aggregate a single /metrics series exposes (per-shard detail stays
+// available through Shards and the journal).
+func (p *PipelineStats) IngestSnapshot() HistSnapshot {
+	snaps := make([]HistSnapshot, len(p.Shards))
+	for i := range p.Shards {
+		snaps[i] = p.Shards[i].Ingest.Snapshot()
+	}
+	return MergeHistSnapshots(snaps...)
+}
+
+// ShardPackets sums the per-shard packet counters.
+func (p *PipelineStats) ShardPackets() int64 {
+	var n int64
+	for i := range p.Shards {
+		n += p.Shards[i].Packets.Load()
+	}
+	return n
+}
+
+// ShardBatches sums the per-shard batch counters.
+func (p *PipelineStats) ShardBatches() int64 {
+	var n int64
+	for i := range p.Shards {
+		n += p.Shards[i].Batches.Load()
+	}
+	return n
+}
+
+// ShardDepths returns the per-shard queue depths last observed at
+// dispatch, in shard order — the journal's per-shard view.
+func (p *PipelineStats) ShardDepths() []int64 {
+	out := make([]int64, len(p.Shards))
+	for i := range p.Shards {
+		out[i] = p.Shards[i].Depth.Load()
+	}
+	return out
+}
+
+// StageNanos is the most recent bin's flush-stage timing breakdown, read
+// from the Last* gauges as one consistent-enough view (the gauges are
+// written together at the end of each flush, on the single goroutine
+// driving the engine).
+type StageNanos struct {
+	Barrier int64 `json:"barrier_ns"`
+	Merge   int64 `json:"merge_ns"`
+	Invert  int64 `json:"invert_ns"`
+	Emit    int64 `json:"emit_ns"`
+	Total   int64 `json:"total_ns"`
+}
+
+// LastStages returns the most recent bin's stage timings.
+func (p *PipelineStats) LastStages() StageNanos {
+	return StageNanos{
+		Barrier: p.Flush.LastBarrierNanos.Load(),
+		Merge:   p.Flush.LastMergeNanos.Load(),
+		Invert:  p.Flush.LastInvertNanos.Load(),
+		Emit:    p.Flush.LastEmitNanos.Load(),
+		Total:   p.Flush.LastTotalNanos.Load(),
+	}
+}

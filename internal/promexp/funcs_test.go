@@ -1,0 +1,150 @@
+package promexp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramRejectsPoison pins the satellite contract: NaN and -Inf
+// observations are dropped entirely — neither buckets nor sum move — so
+// the exposition output stays finite and parseable.
+func TestHistogramRejectsPoison(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{1})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(-1))
+	if h.Count() != 1 {
+		t.Errorf("count = %d after poison observes, want 1", h.Count())
+	}
+	got := render(t, r)
+	want := "# HELP lat_seconds Latency.\n" +
+		"# TYPE lat_seconds histogram\n" +
+		"lat_seconds_bucket{le=\"1\"} 1\n" +
+		"lat_seconds_bucket{le=\"+Inf\"} 1\n" +
+		"lat_seconds_sum 0.5\n" +
+		"lat_seconds_count 1\n"
+	if got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+	// +Inf is a legal observation: it lands in the overflow bucket (and
+	// makes the sum infinite, which the format renders as +Inf).
+	h.Observe(math.Inf(1))
+	if h.Count() != 2 {
+		t.Errorf("count = %d after +Inf observe, want 2", h.Count())
+	}
+	if !strings.Contains(render(t, r), "lat_seconds_sum +Inf\n") {
+		t.Errorf("infinite sum not rendered as +Inf:\n%s", render(t, r))
+	}
+}
+
+// TestCounterFuncGaugeFunc: callback metrics read their value at render
+// time, every render.
+func TestCounterFuncGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.NewCounterFunc("cb_total", "Callback counter.", func() float64 { n++; return n })
+	r.NewGaugeFunc("cb_gauge", "Callback gauge.", func() float64 { return n * 10 })
+	if got := render(t, r); !strings.Contains(got, "cb_total 1\n") || !strings.Contains(got, "cb_gauge 10\n") {
+		t.Errorf("first render:\n%s", got)
+	}
+	if got := render(t, r); !strings.Contains(got, "cb_total 2\n") || !strings.Contains(got, "cb_gauge 20\n") {
+		t.Errorf("second render did not re-invoke callbacks:\n%s", got)
+	}
+	if !strings.Contains(render(t, r), "# TYPE cb_total counter\n") {
+		t.Error("CounterFunc not typed counter")
+	}
+}
+
+// TestHistogramFunc: snapshot-backed histogram renders cumulative
+// buckets, +Inf overflow, sum and count.
+func TestHistogramFunc(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogramFunc("stage_seconds", "Stage latency.", func() HistogramSnapshot {
+		return HistogramSnapshot{
+			Bounds: []float64{0.001, 0.01},
+			Counts: []uint64{3, 1, 2}, // per-bucket, overflow last
+			Sum:    0.123,
+		}
+	})
+	got := render(t, r)
+	for _, line := range []string{
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{le="0.001"} 3`,
+		`stage_seconds_bucket{le="0.01"} 4`,
+		`stage_seconds_bucket{le="+Inf"} 6`,
+		"stage_seconds_sum 0.123",
+		"stage_seconds_count 6",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+// TestHistogramFuncMalformed: a snapshot with missing counts renders a
+// truncated but well-formed family instead of panicking mid-scrape.
+func TestHistogramFuncMalformed(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogramFunc("bad_seconds", "", func() HistogramSnapshot {
+		return HistogramSnapshot{Bounds: []float64{1, 2, 3}, Counts: []uint64{5}}
+	})
+	got := render(t, r)
+	for _, line := range []string{
+		`bad_seconds_bucket{le="1"} 5`,
+		`bad_seconds_bucket{le="+Inf"} 5`,
+		"bad_seconds_count 5",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+	if strings.Contains(got, `le="2"`) {
+		t.Errorf("rendered a bucket with no count:\n%s", got)
+	}
+}
+
+// TestInfo: constant labels render sorted and escaped, value pinned at 1.
+func TestInfo(t *testing.T) {
+	r := NewRegistry()
+	r.NewInfo("build_info", "Build metadata.", map[string]string{
+		"version": "v1.2.3",
+		"goos":    "linux",
+		"odd":     "a\"b\\c\nd",
+	})
+	got := render(t, r)
+	want := "# HELP build_info Build metadata.\n" +
+		"# TYPE build_info gauge\n" +
+		"build_info{goos=\"linux\",odd=\"a\\\"b\\\\c\\nd\",version=\"v1.2.3\"} 1\n"
+	if got != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", got, want)
+	}
+	// No labels: bare series.
+	r2 := NewRegistry()
+	r2.NewInfo("plain_info", "", nil)
+	if !strings.Contains(render(t, r2), "plain_info 1\n") {
+		t.Error("label-free info metric missing bare sample")
+	}
+}
+
+// TestFuncRegistrationValidation: nil callbacks and bad label names
+// panic at registration, like every other registration error.
+func TestFuncRegistrationValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("nil counter fn", func() { r.NewCounterFunc("a_total", "", nil) })
+	mustPanic("nil gauge fn", func() { r.NewGaugeFunc("b", "", nil) })
+	mustPanic("nil histogram fn", func() { r.NewHistogramFunc("c", "", nil) })
+	mustPanic("bad label name", func() {
+		r.NewInfo("d_info", "", map[string]string{"0bad": "x"})
+	})
+}

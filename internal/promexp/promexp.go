@@ -232,8 +232,15 @@ type Histogram struct {
 	sum        atomicFloat
 }
 
-// Observe records one observation.
+// Observe records one observation. NaN and negative-infinity are
+// rejected: neither is a duration or a size, both poison the running sum
+// irreversibly (sum + NaN = NaN forever), and a poisoned _sum breaks
+// every rate() a dashboard computes. Dropping the sample keeps the
+// monitor alive over an upstream accounting bug, matching Counter.Add.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, -1) {
+		return
+	}
 	h.sum.add(v)
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	if i < len(h.bounds) {

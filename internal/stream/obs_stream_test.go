@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"flowrank/internal/flow"
+	"flowrank/internal/invert"
+	"flowrank/internal/obs"
+	"flowrank/internal/packet"
+	"flowrank/internal/sampler"
+)
+
+// obsConfig builds a Config with instrumentation attached.
+func obsConfig(workers int, inverter invert.Estimator) (Config, *obs.PipelineStats) {
+	stats := obs.NewPipelineStats(workers)
+	return Config{
+		Agg:        flow.FiveTuple{},
+		Sampler:    sampler.NewBernoulli(0.3, 11),
+		BinSeconds: 5,
+		TopT:       8,
+		Workers:    workers,
+		Inverter:   inverter,
+		Obs:        stats,
+	}, stats
+}
+
+// TestEngineObsOutputInvariant is the acceptance pin: attaching
+// instrumentation must not change a single bit of the engine's output,
+// for any worker count.
+func TestEngineObsOutputInvariant(t *testing.T) {
+	pkts := makePackets(t, 20, 150, 5)
+	for _, workers := range []int{1, 4} {
+		plain := Config{
+			Agg:        flow.FiveTuple{},
+			Sampler:    sampler.NewBernoulli(0.3, 11),
+			BinSeconds: 5,
+			TopT:       8,
+			Workers:    workers,
+			Inverter:   invert.Naive{},
+		}
+		want := runEngine(t, plain, pkts)
+		instr, _ := obsConfig(workers, invert.Naive{})
+		got := runEngine(t, instr, pkts)
+		compareBins(t, "obs-on vs obs-off", got, want)
+	}
+}
+
+// TestEngineObsTelemetry: the recorded pipeline numbers must account for
+// every packet, batch and bin the engine processed.
+func TestEngineObsTelemetry(t *testing.T) {
+	pkts := makePackets(t, 20, 150, 5)
+	for _, workers := range []int{1, 4} {
+		cfg, stats := obsConfig(workers, invert.Naive{})
+		bins := runEngine(t, cfg, pkts)
+		if got := stats.ShardPackets(); got != int64(len(pkts)) {
+			t.Errorf("workers=%d: shard packets %d, want %d", workers, got, len(pkts))
+		}
+		if got := stats.Flush.Bins.Load(); got != int64(len(bins)) {
+			t.Errorf("workers=%d: flush bins %d, want %d", workers, got, len(bins))
+		}
+		for _, h := range map[string]*obs.Histogram{
+			"barrier": stats.Flush.Barrier,
+			"merge":   stats.Flush.Merge,
+			"invert":  stats.Flush.Invert,
+			"emit":    stats.Flush.Emit,
+			"total":   stats.Flush.Total,
+		} {
+			if got := h.Count(); got != uint64(len(bins)) {
+				t.Errorf("workers=%d: stage histogram count %d, want %d bins", workers, got, len(bins))
+			}
+		}
+		if st := stats.LastStages(); st.Total < st.Barrier+st.Merge {
+			t.Errorf("workers=%d: total %dns below barrier+merge %dns", workers, st.Total, st.Barrier+st.Merge)
+		}
+		if workers > 1 {
+			if stats.Reader.Batches.Load() == 0 || stats.ShardBatches() == 0 {
+				t.Errorf("workers=%d: no batches recorded (reader %d, shards %d)",
+					workers, stats.Reader.Batches.Load(), stats.ShardBatches())
+			}
+			if stats.Reader.Dispatch.Count() != uint64(stats.Reader.Batches.Load()) {
+				t.Errorf("dispatch latency observations %d != dispatched batches %d",
+					stats.Reader.Dispatch.Count(), stats.Reader.Batches.Load())
+			}
+			if got := stats.IngestSnapshot().Count(); got != uint64(stats.ShardBatches()) {
+				t.Errorf("ingest observations %d != shard batches %d", got, stats.ShardBatches())
+			}
+		}
+	}
+}
+
+// TestEngineObsShardMismatch: a stats block sized below the worker count
+// is a configuration error, not a silent truncation.
+func TestEngineObsShardMismatch(t *testing.T) {
+	cfg, _ := obsConfig(4, nil)
+	cfg.Obs = obs.NewPipelineStats(2)
+	_, err := NewEngine(cfg, func(BinResult) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "NewPipelineStats") {
+		t.Fatalf("NewEngine = %v, want shard-mismatch error naming the fix", err)
+	}
+}
+
+// TestEngineFeedAllocFreeWithObs is the hot-path half of the tentpole
+// contract: with instrumentation attached, a steady-state packet still
+// costs zero heap allocations on the inline (Workers=1) engine, whose
+// Feed call IS the whole per-packet pipeline.
+func TestEngineFeedAllocFreeWithObs(t *testing.T) {
+	cfg, _ := obsConfig(1, nil)
+	cfg.Recycle = true
+	eng, err := NewEngine(cfg, func(BinResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pkts := makePackets(t, 4, 200, 9) // one bin's worth: no flush mid-measurement
+	for _, p := range pkts {          // warm the tables and slab pools
+		if err := eng.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		p := pkts[i%len(pkts)]
+		p.Time = 4.5 // stay inside the warm bin
+		if err := eng.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Feed allocates %.2f/packet, want 0", allocs)
+	}
+}
+
+// TestEngineObsConcurrentScrape races scrapes (snapshots, counter loads)
+// against a multi-worker engine crossing bin flushes — the -race CI job
+// proves a scrape during a flush barrier never tears.
+func TestEngineObsConcurrentScrape(t *testing.T) {
+	pkts := makePackets(t, 20, 150, 7)
+	cfg, stats := obsConfig(4, nil)
+	cfg.BatchSize = 32 // many dispatches, many flush barriers
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = stats.IngestSnapshot()
+				_ = stats.Flush.Total.Snapshot()
+				_ = stats.LastStages()
+				_ = stats.ShardDepths()
+				_ = stats.Reader.Stalls.Load()
+			}
+		}
+	}()
+	eng, err := NewEngine(cfg, func(BinResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Packet
+	for _, p = range pkts {
+		if err := eng.Feed(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	rd.Wait()
+	if got := stats.ShardPackets(); got != int64(len(pkts)) {
+		t.Errorf("shard packets %d, want %d", got, len(pkts))
+	}
+}

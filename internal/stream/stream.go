@@ -36,6 +36,7 @@ import (
 	"flowrank/internal/flowtable"
 	"flowrank/internal/invert"
 	"flowrank/internal/metrics"
+	"flowrank/internal/obs"
 	"flowrank/internal/packet"
 	"flowrank/internal/sampler"
 )
@@ -78,6 +79,17 @@ type Config struct {
 	// until the emit callback returns. Leave it unset when retaining
 	// results beyond emit.
 	Recycle bool
+	// Obs, when non-nil, receives the engine's pipeline telemetry:
+	// reader dispatch latency and backpressure stalls, per-shard queue
+	// depth and batch ingest time, and the bin-boundary flush breakdown
+	// (barrier, merge, invert, emit). It must come from
+	// obs.NewPipelineStats with at least Workers shards (after the
+	// GOMAXPROCS default is applied). Instrumentation is alloc-free on
+	// the packet path and never feeds back into the measurement: the
+	// engine's output is bit-identical with Obs set or nil. Timing reads
+	// use obs.Nanotime (telemetry only), keeping the package's
+	// no-wall-clock determinism contract intact.
+	Obs *obs.PipelineStats
 }
 
 // BinResult is the merged measurement of one non-empty bin.
@@ -140,6 +152,7 @@ type shard struct {
 	orig, samp flowtable.Summary
 	topT       int
 	recycle    bool
+	stats      *obs.ShardStats   // nil when instrumentation is off
 	in         chan shardMsg     // nil when the engine runs inline
 	out        chan shardSummary // one summary per flush barrier
 	// Persistent summarize buffers, reused across bins when recycle is
@@ -193,7 +206,11 @@ func (s *shard) summarize() shardSummary {
 	return sum
 }
 
-// loop is the shard worker: drain batches, summarize on flush.
+// loop is the shard worker: drain batches, summarize on flush. The
+// instrumentation (batch ingest time, packet counts) is alloc-free —
+// obs primitives carry the same //flowrank:hotpath contract this loop
+// does — and records telemetry only; it never alters an accounting
+// decision.
 //
 //flowrank:hotpath
 func (s *shard) loop(wg *sync.WaitGroup, free chan []item) {
@@ -203,8 +220,17 @@ func (s *shard) loop(wg *sync.WaitGroup, free chan []item) {
 			s.out <- s.summarize()
 			continue
 		}
+		var t0 int64
+		if s.stats != nil {
+			t0 = obs.Nanotime()
+		}
 		for _, it := range msg.batch {
 			s.add(it)
+		}
+		if s.stats != nil {
+			s.stats.Ingest.Observe(obs.Nanotime() - t0)
+			s.stats.Batches.Inc()
+			s.stats.Packets.Add(int64(len(msg.batch)))
 		}
 		select { // recycle the batch buffer if the reader wants it
 		case free <- msg.batch[:0]:
@@ -252,6 +278,11 @@ var ErrClosed = errors.New("stream: engine already closed")
 // timestamp collapses into this one final bin.
 const clampBin int64 = 1 << 53
 
+// DefaultWorkers is the shard worker count a zero Config.Workers
+// resolves to — exported so callers preallocating per-shard state (an
+// obs.PipelineStats) can size it for the engine they are about to build.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // NewEngine validates cfg, starts the shard workers (for Workers > 1) and
 // returns an engine ready for Feed. Every engine must be Closed, even
 // after an error, to release its workers.
@@ -284,7 +315,7 @@ func NewEngineContext(ctx context.Context, cfg Config, emit func(BinResult) erro
 		return nil, fmt.Errorf("stream: top list length %d is negative", cfg.TopT)
 	}
 	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+		cfg.Workers = DefaultWorkers()
 	}
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("stream: worker count %d must be at least 1", cfg.Workers)
@@ -300,6 +331,10 @@ func NewEngineContext(ctx context.Context, cfg Config, emit func(BinResult) erro
 	}
 	if err := cfg.Tables.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil && len(cfg.Obs.Shards) < cfg.Workers {
+		return nil, fmt.Errorf("stream: Config.Obs has %d shard slots for %d workers; allocate with obs.NewPipelineStats(workers)",
+			len(cfg.Obs.Shards), cfg.Workers)
 	}
 	e := &Engine{cfg: cfg, emit: emit, ctx: ctx, done: ctx.Done()}
 	e.shards = make([]*shard, cfg.Workers)
@@ -317,6 +352,9 @@ func NewEngineContext(ctx context.Context, cfg Config, emit func(BinResult) erro
 			samp:    samp,
 			topT:    cfg.TopT,
 			recycle: cfg.Recycle,
+		}
+		if cfg.Obs != nil {
+			e.shards[i].stats = &cfg.Obs.Shards[i]
 		}
 	}
 	if cfg.Workers > 1 {
@@ -364,6 +402,11 @@ func (e *Engine) Feed(p packet.Packet) error {
 	it := item{key: key, time: p.Time, size: int64(p.Size), sampled: kept}
 	if e.pending == nil {
 		e.shards[0].add(it)
+		if s := e.shards[0].stats; s != nil {
+			// Inline engine: no batches, no queue — packets is the only
+			// shard-stage series with meaning here.
+			s.Packets.Inc()
+		}
 	} else {
 		s := int(key.FastHash() % uint64(len(e.shards)))
 		e.pending[s] = append(e.pending[s], it)
@@ -420,12 +463,29 @@ func (e *Engine) Abort() {
 }
 
 // dispatch hands shard s's pending batch to its worker, reusing a spent
-// batch buffer when one is available.
+// batch buffer when one is available. Instrumented, it also records the
+// shard's queue depth, the hand-off latency, and whether the send had to
+// stall on a full queue — the reader-side backpressure signal.
 func (e *Engine) dispatch(s int) {
 	if len(e.pending[s]) == 0 {
 		return
 	}
-	e.shards[s].in <- shardMsg{batch: e.pending[s]}
+	if st := e.cfg.Obs; st != nil {
+		depth := int64(len(e.shards[s].in))
+		st.Shards[s].Depth.Set(depth)
+		st.Reader.QueueDepthMax.SetMax(depth)
+		t0 := obs.Nanotime()
+		select {
+		case e.shards[s].in <- shardMsg{batch: e.pending[s]}:
+		default:
+			st.Reader.Stalls.Inc()
+			e.shards[s].in <- shardMsg{batch: e.pending[s]}
+		}
+		st.Reader.Dispatch.Observe(obs.Nanotime() - t0)
+		st.Reader.Batches.Inc()
+	} else {
+		e.shards[s].in <- shardMsg{batch: e.pending[s]}
+	}
 	select {
 	case b := <-e.free:
 		e.pending[s] = b
@@ -436,11 +496,22 @@ func (e *Engine) dispatch(s int) {
 
 // flushBin runs the bin barrier: drain every shard, merge their summaries
 // and emit the BinResult. Empty bins (no packets anywhere) emit nothing.
+// With Config.Obs set it also records the flush breakdown — barrier,
+// merge, invert, emit — into the cumulative histograms and the Last*
+// gauges. The barrier/merge/invert gauges are written before emit runs,
+// so an emit callback building a per-bin journal record reads its own
+// bin's stage timings; emit and total land after the callback returns
+// (they time the callback itself).
 func (e *Engine) flushBin() error {
 	if e.binPackets == 0 {
 		return nil
 	}
 	e.binPackets = 0
+	st := e.cfg.Obs
+	var t0, tBarrier, tMerge, tInvert int64
+	if st != nil {
+		t0 = obs.Nanotime()
+	}
 	sums := make([]shardSummary, len(e.shards))
 	if e.pending == nil {
 		sums[0] = e.shards[0].summarize()
@@ -453,8 +524,35 @@ func (e *Engine) flushBin() error {
 			sums[s] = <-e.shards[s].out
 		}
 	}
+	if st != nil {
+		tBarrier = obs.Nanotime()
+	}
 	r := e.mergeBin(sums)
-	if err := e.emit(r); err != nil {
+	if st != nil {
+		tMerge = obs.Nanotime()
+	}
+	if e.cfg.Inverter != nil {
+		r.Inversion = summarizeInversion(e.cfg.Inverter, r.Sampled, e.cfg.Sampler.Rate())
+	}
+	if st != nil {
+		tInvert = obs.Nanotime()
+		st.Flush.Barrier.Observe(tBarrier - t0)
+		st.Flush.Merge.Observe(tMerge - tBarrier)
+		st.Flush.Invert.Observe(tInvert - tMerge)
+		st.Flush.LastBarrierNanos.Set(tBarrier - t0)
+		st.Flush.LastMergeNanos.Set(tMerge - tBarrier)
+		st.Flush.LastInvertNanos.Set(tInvert - tMerge)
+	}
+	err := e.emit(r)
+	if st != nil {
+		tEmit := obs.Nanotime()
+		st.Flush.Emit.Observe(tEmit - tInvert)
+		st.Flush.Total.Observe(tEmit - t0)
+		st.Flush.LastEmitNanos.Set(tEmit - tInvert)
+		st.Flush.LastTotalNanos.Set(tEmit - t0)
+		st.Flush.Bins.Inc()
+	}
+	if err != nil {
 		e.fail(fmt.Errorf("stream: emitting bin %d: %w", r.Bin, err))
 		return e.err
 	}
@@ -524,9 +622,8 @@ func (e *Engine) mergeBin(sums []shardSummary) BinResult {
 		}
 	}
 	r.Pairs = metrics.CountSwapped(r.Orig, r.Sampled, e.cfg.TopT)
-	if e.cfg.Inverter != nil {
-		r.Inversion = summarizeInversion(e.cfg.Inverter, r.Sampled, e.cfg.Sampler.Rate())
-	}
+	// The inversion stage runs in flushBin, after this merge, so the two
+	// are timed as distinct pipeline stages.
 	return r
 }
 

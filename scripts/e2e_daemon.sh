@@ -42,7 +42,8 @@ test "$bins" -gt 0
 test "$flows" -gt 0
 
 # The daemon on the same trace, sampling seed and worker count. Port 0:
-# the bound address is read from the startup log line.
+# the bound address is read from the startup log record's addr attribute
+# (slog text format: msg="serving /metrics and /healthz" addr=HOST:PORT).
 "$dir/flowrankd" -in "$dir/trace.pkts" -p 0.1 -t 5 -bin 4 -seed 7 -workers 4 \
     -listen 127.0.0.1:0 2>"$dir/daemon.log" &
 daemon_pid=$!
@@ -50,7 +51,7 @@ daemon_pid=$!
 addr=""
 i=0
 while [ -z "$addr" ]; do
-    addr="$(sed -n 's|.*serving /metrics and /healthz on ||p' "$dir/daemon.log" | head -n 1)"
+    addr="$(sed -n 's|.*msg="serving [^"]*" addr=\([^ ]*\).*|\1|p' "$dir/daemon.log" | head -n 1)"
     [ -n "$addr" ] && break
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then

@@ -1,0 +1,121 @@
+#!/bin/sh
+# End-to-end observability check: run the real flowrankd binary with the
+# structured bin journal and pprof enabled, then require every layer of
+# the self-instrumentation stack to be live and consistent:
+#
+#   1. /metrics exposes the per-stage pipeline histograms and the runtime
+#      self-telemetry series (heap, goroutines, build info, uptime);
+#   2. /debug/pprof/heap answers with a real heap profile;
+#   3. the -journal file validates line-by-line against the BinRecord
+#      schema via the journalcheck oracle, with one record per bin;
+#   4. the journal's per-bin sampled-packet counts sum to the scraped
+#      flowrankd_packets_sampled_total, tying the journal to /metrics;
+#   5. SIGTERM drains cleanly (exit 0).
+#
+# CI runs this as the obs-e2e job; locally: make e2e-obs.
+set -eu
+
+dir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ]; then
+        kill "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/tracegen" ./cmd/tracegen
+go build -o "$dir/flowrankd" ./cmd/flowrankd
+go build -o "$dir/journalcheck" ./cmd/journalcheck
+
+"$dir/tracegen" -preset sprint5 -seconds 12 -rate 0.5 -seed 3 -packets -o "$dir/trace.pkts"
+
+"$dir/flowrankd" -in "$dir/trace.pkts" -p 0.1 -t 5 -bin 4 -seed 7 -workers 4 \
+    -listen 127.0.0.1:0 -journal "$dir/journal.jsonl" -pprof \
+    2>"$dir/daemon.log" &
+daemon_pid=$!
+
+addr=""
+i=0
+while [ -z "$addr" ]; do
+    addr="$(sed -n 's|.*msg="serving [^"]*" addr=\([^ ]*\).*|\1|p' "$dir/daemon.log" | head -n 1)"
+    [ -n "$addr" ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "flowrankd never announced its address:" >&2
+        cat "$dir/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+i=0
+until curl -fsS "http://$addr/metrics" 2>/dev/null | grep -q '^flowrankd_source_eof 1$'; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "flowrankd never reached source EOF:" >&2
+        cat "$dir/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+curl -fsS "http://$addr/metrics" >"$dir/metrics.txt"
+
+# Layer 1: pipeline stage instrumentation and runtime self-telemetry.
+for series in \
+    flowrankd_pipeline_packets_total \
+    flowrankd_pipeline_reader_batches_total \
+    flowrankd_pipeline_dispatch_seconds_count \
+    flowrankd_pipeline_ingest_seconds_count \
+    flowrankd_pipeline_barrier_seconds_count \
+    flowrankd_pipeline_merge_seconds_count \
+    flowrankd_pipeline_invert_seconds_count \
+    flowrankd_pipeline_flush_seconds_count \
+    flowrankd_goroutines \
+    flowrankd_heap_alloc_bytes \
+    flowrankd_uptime_seconds \
+    flowrankd_gc_cycles_total; do
+    if ! grep -q "^$series " "$dir/metrics.txt"; then
+        echo "missing series $series in /metrics" >&2
+        exit 1
+    fi
+done
+if ! grep -q '^flowrank_build_info{' "$dir/metrics.txt"; then
+    echo "missing flowrank_build_info in /metrics" >&2
+    exit 1
+fi
+
+# Layer 2: pprof must be mounted and serve a real heap profile.
+curl -fsS "http://$addr/debug/pprof/heap?debug=1" >"$dir/heap.txt"
+grep -q '^heap profile:' "$dir/heap.txt"
+
+# Layer 3: the journal validates against the BinRecord schema, one
+# record per flushed bin.
+bins="$(awk '$1 == "flowrankd_bins_total" { print $2 }' "$dir/metrics.txt")"
+test "$bins" -gt 0
+"$dir/journalcheck" -min-bins "$bins" "$dir/journal.jsonl"
+
+# Layer 4: journal-to-metrics consistency — per-bin sampled-packet
+# counts must sum to the scraped total.
+sampled_metric="$(awk '$1 == "flowrankd_packets_sampled_total" { print $2 }' "$dir/metrics.txt")"
+sampled_journal="$(grep '"msg":"bin"' "$dir/journal.jsonl" |
+    sed -n 's|.*"sampled_packets":\([0-9]*\),.*|\1|p' |
+    awk '{ sum += $1 } END { print sum + 0 }')"
+if [ "$sampled_journal" != "$sampled_metric" ]; then
+    echo "journal sampled_packets sum $sampled_journal != metric $sampled_metric" >&2
+    exit 1
+fi
+
+# Layer 5: graceful drain.
+kill -TERM "$daemon_pid"
+pid="$daemon_pid"
+daemon_pid=""
+if ! wait "$pid"; then
+    echo "flowrankd exited non-zero after SIGTERM:" >&2
+    cat "$dir/daemon.log" >&2
+    exit 1
+fi
+
+echo "flowrankd obs e2e: $bins journal bins match /metrics, pprof heap live, SIGTERM drained cleanly"

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPath(t *testing.T) {
-	analysistest.Run(t, "testdata", hotpath.Analyzer, "flowtable")
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "flowtable", "obs")
 }

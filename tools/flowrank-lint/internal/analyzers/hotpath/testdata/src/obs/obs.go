@@ -1,0 +1,105 @@
+// Package obs is hotpath testdata modeled on the repo's real
+// self-instrumentation layer (internal/obs): the update primitives —
+// atomic counters/gauges, the fixed-bucket histogram's linear scan, the
+// monotonic clock read — must pass the analyzer clean, and the tempting
+// shortcuts (a sort.Search closure, structured-logging or Sprintf calls
+// from the packet path) must be flagged.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+var epoch = time.Now()
+
+// nanotime is the pipeline clock: a monotonic delta, no allocation.
+//
+//flowrank:hotpath
+func nanotime() int64 { return int64(time.Since(epoch)) }
+
+type counter struct{ v atomic.Int64 }
+
+//flowrank:hotpath
+func (c *counter) inc() { c.v.Add(1) }
+
+type gauge struct{ v atomic.Int64 }
+
+// setMax is the CAS high-water-mark loop used for queue depths.
+//
+//flowrank:hotpath
+func (g *gauge) setMax(v int64) {
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+type histogram struct {
+	bounds []int64
+	counts []atomic.Uint64
+	sum    atomic.Int64
+}
+
+// observe buckets by hand-written linear scan: receiver-rooted state
+// only, nothing escapes. This is the shape the real obs.Histogram uses.
+//
+//flowrank:hotpath
+func (h *histogram) observe(v int64) {
+	h.sum.Add(v)
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+}
+
+// observeSearch is the shortcut the linear scan exists to avoid:
+// sort.Search takes a func(int) bool, and binding h and v into it
+// allocates a closure per observation.
+//
+//flowrank:hotpath
+func (h *histogram) observeSearch(v int64) {
+	h.sum.Add(v)
+	i := sort.Search(len(h.bounds), func(j int) bool { return v <= h.bounds[j] }) // want `hot path allocates: closure captures local variables`
+	h.counts[i].Add(1)
+}
+
+// logger stands in for slog.Logger: variadic ...any boxes every scalar.
+type logger struct{}
+
+func (logger) info(msg string, kv ...any) { _, _ = msg, kv }
+
+var opLog logger
+
+// observeAndLog: per-packet structured logging is double-banned — the
+// variadic key/value slice and the boxed int64 both allocate. Journal
+// records belong in the per-bin flush, never the packet path.
+//
+//flowrank:hotpath
+func (h *histogram) observeAndLog(v int64) {
+	h.observe(v)
+	opLog.info("observed", "v", v) // want `hot path allocates: converting string to interface` `hot path allocates: converting int64 to interface`
+}
+
+// labelFor: building metric labels with Sprintf on the hot path.
+//
+//flowrank:hotpath
+func labelFor(shard int) int {
+	s := fmt.Sprintf("shard_%d", shard) // want `hot path allocates: fmt.Sprintf boxes its arguments`
+	return len(s)
+}
+
+// snapshot is a reader, not an update primitive: unannotated, so its
+// allocations are fine.
+func (h *histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
